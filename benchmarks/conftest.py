@@ -1,0 +1,25 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one paper table/figure (or an ablation) at the
+``small`` preset scale and runs it once under pytest-benchmark, asserting
+the paper's qualitative relations on the produced data.  Medium/paper
+scales are available through ``python -m repro.experiments <id> --scale
+medium|paper``.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark harness and return its
+    result (the experiment tables are multi-second deterministic runs, so
+    statistical repetition buys nothing)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

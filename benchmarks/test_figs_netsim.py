@@ -1,0 +1,42 @@
+"""Benchmarks for Figures 7-10: flit-level saturation throughput."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def _sanity(data, schemes=("ksp", "redksp")):
+    for scheme in schemes:
+        for mech, th in data[scheme].items():
+            assert 0.0 <= th <= 1.0
+
+
+def test_fig7_saturation_permutation_small(once):
+    """Figure 7: permutation saturation throughput, small topology."""
+    r = once(run_experiment, "fig7", scale="small", seed=0)
+    _sanity(r.data)
+    # rEDKSP at least matches KSP on average across mechanisms.
+    mean = lambda s: np.mean(list(r.data[s].values()))
+    assert mean("redksp") >= mean("ksp") - 0.05
+
+
+def test_fig8_saturation_permutation_medium(once):
+    """Figure 8: permutation saturation throughput, larger topology."""
+    r = once(run_experiment, "fig8", scale="small", seed=0)
+    _sanity(r.data)
+
+
+def test_fig9_saturation_shift_small(once):
+    """Figure 9: shift saturation throughput, small topology."""
+    r = once(run_experiment, "fig9", scale="small", seed=0)
+    _sanity(r.data)
+    # The paper's headline on demanding shift traffic: KSP-adaptive is the
+    # best mechanism and beats KSP-UGAL clearly.
+    for scheme in ("ksp", "redksp"):
+        assert r.data[scheme]["ksp_adaptive"] >= r.data[scheme]["ksp_ugal"]
+
+
+def test_fig10_saturation_shift_medium(once):
+    """Figure 10: shift saturation throughput, larger topology."""
+    r = once(run_experiment, "fig10", scale="small", seed=0)
+    _sanity(r.data)

@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the performance-critical primitives.
+
+These are real pytest-benchmark measurements (multiple rounds) for the
+inner-loop building blocks, so regressions in the hot paths show up even
+when the experiment-level benchmarks drown them in fixed cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Jellyfish, PathCache
+from repro.appsim.fairshare import maxmin_rates
+from repro.core.yen import k_shortest_paths
+from repro.netsim import SimConfig, Simulator, UniformTraffic
+from repro.topology.metrics import average_shortest_path_length
+from repro.topology.rrg import random_regular_graph
+
+
+@pytest.fixture(scope="module")
+def topo36():
+    return Jellyfish(36, 24, 16, seed=1)
+
+
+def test_perf_rrg_construction(benchmark):
+    """Incremental Jellyfish construction, paper small topology."""
+    adj = benchmark(random_regular_graph, 36, 16, 1)
+    assert len(adj) == 36
+
+
+def test_perf_bfs_metrics(benchmark, topo36):
+    """All-pairs BFS average shortest path length on RRG(36,24,16)."""
+    apl = benchmark(average_shortest_path_length, topo36.adjacency)
+    assert 1.3 < apl < 1.8
+
+
+def test_perf_yen_k8(benchmark, topo36):
+    """One Yen KSP(8) invocation on the paper's small topology."""
+    paths = benchmark(k_shortest_paths, topo36.adjacency, 0, 20, 8)
+    assert len(paths) == 8
+
+
+def test_perf_edksp_pathcache_warm(benchmark, topo36):
+    """Remove-Find over 100 switch pairs."""
+
+    def warm():
+        cache = PathCache(topo36, "redksp", k=8, seed=0)
+        cache.precompute((0, d) for d in range(1, 26))
+        cache.precompute((7, d) for d in range(8, 33))
+        return cache
+
+    cache = benchmark(warm)
+    assert len(cache) == 50
+
+
+def test_perf_fairshare_waterfill(benchmark):
+    """Max-min water-filling: 2000 flows over 500 links."""
+    rng = np.random.default_rng(0)
+    flows = [np.unique(rng.integers(0, 500, size=5)) for _ in range(2000)]
+
+    rates = benchmark(maxmin_rates, flows, 10.0, 500)
+    assert (rates > 0).all()
+
+
+def test_perf_simulator_cycles(benchmark):
+    """Flit-level simulator throughput: cycles/second at moderate load."""
+    topo = Jellyfish(12, 10, 6, seed=7)
+    cache = PathCache(topo, "redksp", k=4, seed=1)
+    cfg = SimConfig(warmup_cycles=100, sample_cycles=100, n_samples=2)
+
+    def run():
+        sim = Simulator(
+            topo, cache, "ksp_adaptive", UniformTraffic(topo.n_hosts),
+            0.5, cfg, seed=0,
+        )
+        return sim.run()
+
+    r = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert r.delivered > 0

@@ -1,0 +1,38 @@
+"""Benchmarks for Tables I-IV: topology metrics and path quality."""
+
+from repro.experiments import run_experiment
+
+
+def test_table1_topology(once):
+    """Table I: build the topology trio and measure avg shortest path."""
+    r = once(run_experiment, "table1", scale="small", seed=0)
+    for label, d in r.data.items():
+        assert d["apl"] > 1.0
+
+
+def test_table2_path_length(once):
+    """Table II: average path length per scheme."""
+    r = once(run_experiment, "table2", scale="small", seed=0)
+    for label, per_scheme in r.data.items():
+        base = per_scheme["ksp"]["average_path_length"]
+        # The heuristics add at most a few percent of length (paper: <=4.6%).
+        for scheme in ("rksp", "edksp", "redksp"):
+            assert per_scheme[scheme]["average_path_length"] <= base * 1.10
+
+
+def test_table3_disjoint_fraction(once):
+    """Table III: ED schemes 100% disjoint; KSP schemes far below."""
+    r = once(run_experiment, "table3", scale="small", seed=0)
+    for label, per_scheme in r.data.items():
+        assert per_scheme["edksp"]["fraction_disjoint_pairs"] == 1.0
+        assert per_scheme["redksp"]["fraction_disjoint_pairs"] == 1.0
+        assert per_scheme["ksp"]["fraction_disjoint_pairs"] < 0.5
+
+
+def test_table4_max_sharing(once):
+    """Table IV: worst-case link sharing 1 for ED schemes, >1 for KSP."""
+    r = once(run_experiment, "table4", scale="small", seed=0)
+    for label, per_scheme in r.data.items():
+        assert per_scheme["edksp"]["max_link_sharing"] <= 1
+        assert per_scheme["redksp"]["max_link_sharing"] <= 1
+        assert per_scheme["ksp"]["max_link_sharing"] >= 2

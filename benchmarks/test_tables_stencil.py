@@ -1,0 +1,27 @@
+"""Benchmarks for Tables V and VI: stencil communication times."""
+
+from repro.experiments import run_experiment
+
+APPS = ("2dnn", "2dnndiag", "3dnn", "3dnndiag")
+
+
+def _sanity(data):
+    for scheme, per_app in data.items():
+        for app in APPS:
+            assert per_app[app] > 0
+    # rEDKSP is competitive overall: mean time within 10% of the best
+    # scheme (at paper scale it wins outright; toy scale leaves noise).
+    means = {s: sum(per_app[a] for a in APPS) / len(APPS) for s, per_app in data.items()}
+    assert means["redksp"] <= min(means.values()) * 1.10
+
+
+def test_table5_stencil_linear_mapping(once):
+    """Table V: linear mapping communication times."""
+    r = once(run_experiment, "table5", scale="small", seed=0)
+    _sanity(r.data)
+
+
+def test_table6_stencil_random_mapping(once):
+    """Table VI: random mapping communication times."""
+    r = once(run_experiment, "table6", scale="small", seed=0)
+    _sanity(r.data)

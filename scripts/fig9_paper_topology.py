@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Figure 7/9 on the paper's real small topology RRG(36,24,16).
+
+Uses the paper's k=8 and rate ladder but a shortened measurement window
+(5 x 300 cycles instead of 10 x 500) so the sweep finishes in tens of
+minutes on one core.  Results feed EXPERIMENTS.md.
+"""
+
+import time
+
+from repro import Jellyfish, PathCache
+from repro.netsim import PatternTraffic, SimConfig, saturation_throughput
+from repro.traffic import random_permutation, random_shift
+from repro.utils.tables import format_table
+
+TOPO = (36, 24, 16)
+K = 8
+SCHEMES = ("ksp", "redksp")
+MECHANISMS = ("random", "round_robin", "ugal", "ksp_ugal", "ksp_adaptive")
+RATES = [round(0.05 * i, 2) for i in range(8, 21)]  # 0.40 .. 1.00
+CONFIG = SimConfig(warmup_cycles=300, sample_cycles=300, n_samples=5)
+
+
+def main() -> None:
+    topo = Jellyfish(*TOPO, seed=1)
+    n = topo.n_hosts
+    for name, pattern in (
+        ("permutation", random_permutation(n, seed=3)),
+        ("shift", random_shift(n, seed=3)),
+    ):
+        rows = []
+        for scheme in SCHEMES:
+            cache = PathCache(topo, scheme, k=K, seed=1)
+            row = [scheme]
+            for mech in MECHANISMS:
+                t0 = time.time()
+                th, _ = saturation_throughput(
+                    topo, cache, mech, PatternTraffic(pattern),
+                    rates=RATES, config=CONFIG, seed=0,
+                )
+                row.append(th)
+                print(
+                    f"# {name} {scheme} {mech}: throughput={th:.2f} "
+                    f"({time.time() - t0:.0f}s)",
+                    flush=True,
+                )
+            rows.append(row)
+        print(
+            format_table(
+                ["scheme"] + list(MECHANISMS), rows,
+                title=f"saturation throughput, {name} on RRG(36,24,16), k={K}",
+                ndigits=2,
+            ),
+            flush=True,
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quick flit-level check on the paper's real small topology RRG(36,24,16).
+
+A single-core-friendly version of the Figures 7/9 protocol: k = 8, shift
+traffic (where the paper's differences are largest) plus one permutation,
+coarse rate ladder, shortened 3 x 200-cycle measurement window.  Prints
+one line per cell so partial runs are still usable.
+"""
+
+import time
+
+from repro import Jellyfish, PathCache
+from repro.netsim import PatternTraffic, SimConfig, saturation_throughput
+from repro.traffic import random_permutation, random_shift
+from repro.utils.tables import format_table
+
+K = 8
+SCHEMES = ("ksp", "redksp")
+MECHANISMS = ("random", "round_robin", "ksp_ugal", "ksp_adaptive")
+RATES = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+CONFIG = SimConfig(warmup_cycles=200, sample_cycles=200, n_samples=3)
+
+
+def main() -> None:
+    topo = Jellyfish(36, 24, 16, seed=1)
+    n = topo.n_hosts
+    for name, pattern in (
+        ("shift", random_shift(n, seed=3)),
+        ("permutation", random_permutation(n, seed=3)),
+    ):
+        rows = []
+        for scheme in SCHEMES:
+            cache = PathCache(topo, scheme, k=K, seed=1)
+            row = [scheme]
+            for mech in MECHANISMS:
+                t0 = time.time()
+                th, _ = saturation_throughput(
+                    topo, cache, mech, PatternTraffic(pattern),
+                    rates=RATES, config=CONFIG, seed=0,
+                )
+                row.append(th)
+                print(
+                    f"# {name} {scheme} {mech}: throughput={th:.2f} "
+                    f"({time.time() - t0:.0f}s)",
+                    flush=True,
+                )
+            rows.append(row)
+        print(
+            format_table(
+                ["scheme"] + list(MECHANISMS), rows,
+                title=f"saturation throughput, {name} on RRG(36,24,16), k={K}",
+                ndigits=2,
+            ),
+            flush=True,
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package
+(where PEP 660 editable builds are unavailable), via::
+
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Flow-level application simulator (the CODES replacement).
+
+The paper's CODES experiments configure zero router/NIC/soft delays, so
+message completion times are governed by *bandwidth contention on links*.
+This package models exactly that: every message (or message chunk) becomes
+a flow over the links of its selected path, link bandwidth is shared
+max-min fairly among concurrent flows, and a discrete-event loop advances
+from flow completion to flow completion.
+
+Pipeline: :func:`~repro.appsim.workload.build_workload` turns a stencil
+trace + rank mapping + path-selection scheme + routing mechanism into
+:class:`~repro.appsim.flows.FlowSpec` objects;
+:func:`~repro.appsim.simulator.run_flows` simulates them.
+"""
+
+from repro.appsim.fairshare import maxmin_rates
+from repro.appsim.flows import FlowSpec
+from repro.appsim.simulator import AppSimResult, run_flows
+from repro.appsim.workload import build_workload, stencil_time
+
+__all__ = [
+    "maxmin_rates",
+    "FlowSpec",
+    "AppSimResult",
+    "run_flows",
+    "build_workload",
+    "stencil_time",
+]

@@ -1,0 +1,113 @@
+"""Lazy, reproducible per-pair path cache.
+
+Experiments touch wildly different pair sets (a permutation touches ~N
+pairs, all-to-all touches all N*(N-1)), so paths are computed on first use
+and memoised.  Randomized selectors get a *per-pair* generator derived from
+``(master seed, source, destination)``; this makes the cached paths a pure
+function of (topology, scheme, k, seed) — independent of which pairs are
+requested, or in what order, or whether the cache was warmed before.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.core.path import PathSet
+from repro.core.selectors import PathSelector, make_selector
+from repro.topology.jellyfish import Jellyfish
+from repro.utils.validation import check_positive_int
+
+__all__ = ["PathCache"]
+
+
+class PathCache:
+    """Memoised ``(source switch, destination switch) -> PathSet`` map.
+
+    Parameters
+    ----------
+    topology:
+        The :class:`~repro.topology.Jellyfish` instance whose switch graph
+        paths are computed on.
+    scheme:
+        Registry name (``"ksp"``, ``"rksp"``, ``"edksp"``, ``"redksp"``,
+        ``"llskr"``, ``"sp"``) or an already-built
+        :class:`~repro.core.selectors.PathSelector`.
+    k:
+        Paths requested per pair (selectors may return fewer, e.g. LLSKR or
+        Remove-Find shortfall, or the trivial intra-switch pair).
+    seed:
+        Master seed for randomized selectors.
+    """
+
+    def __init__(
+        self,
+        topology: Jellyfish,
+        scheme: str | PathSelector = "ksp",
+        k: int = 8,
+        seed: int | None = 0,
+    ):
+        check_positive_int(k, "k")
+        self.topology = topology
+        self.selector = (
+            scheme if isinstance(scheme, PathSelector) else make_selector(scheme)
+        )
+        self.k = k
+        self.seed = 0 if seed is None else int(seed)
+        self._store: Dict[Tuple[int, int], PathSet] = {}
+
+    def _pair_rng(self, source: int, destination: int) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=self.seed, spawn_key=(source, destination)
+            )
+        )
+
+    def get(self, source: int, destination: int) -> PathSet:
+        """The PathSet for one switch pair, computing it on first use."""
+        key = (source, destination)
+        found = self._store.get(key)
+        if found is None:
+            rng = self._pair_rng(source, destination) if self.selector.randomized else None
+            found = self.selector.select(
+                self.topology.adjacency, source, destination, self.k, rng
+            )
+            self._store[key] = found
+        return found
+
+    def precompute(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Warm the cache for the given switch pairs."""
+        for s, d in pairs:
+            self.get(s, d)
+
+    def all_pairs(self) -> Iterable[PathSet]:
+        """Compute and yield PathSets for every ordered switch pair.
+
+        Intended for path-quality studies (Tables II-IV); cost grows as
+        N*(N-1) Yen invocations, so use reduced topologies where possible.
+        """
+        n = self.topology.n_switches
+        for s in range(n):
+            for d in range(n):
+                if s != d:
+                    yield self.get(s, d)
+
+    def export_state(self) -> Dict[Tuple[int, int], PathSet]:
+        """A snapshot of the memoised PathSets (for shipping to workers)."""
+        return dict(self._store)
+
+    def import_state(self, state: Dict[Tuple[int, int], PathSet]) -> None:
+        """Merge a snapshot from :meth:`export_state` into this cache.
+
+        Imported entries win over recomputation, so a warmed parent cache
+        can be distributed to worker processes without re-running Yen's
+        algorithm there.
+        """
+        self._store.update(state)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, pair: Tuple[int, int]) -> bool:
+        return pair in self._store

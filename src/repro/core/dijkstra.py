@@ -1,0 +1,129 @@
+"""Shortest-path routines with deterministic or randomized tie-breaking.
+
+The switch graph is unweighted, so the "Dijkstra" of the paper reduces to
+BFS; what matters is the *tie-breaking policy*, which is exactly the knob
+the paper turns:
+
+- ``tie="min"`` reproduces the textbook algorithm's bias: neighbours are
+  explored in increasing node-id order, so among equal-length paths the one
+  through the smallest ids wins (the paper's "vanilla" behaviour that causes
+  the Figure 3(a) pathology).
+- ``tie="random"`` is the randomized variant: the path is sampled by a
+  random backwalk over the BFS distance field, choosing uniformly among
+  valid predecessors at every step (the paper's randomized Dijkstra).
+
+Both honour banned nodes and banned *directed* edges, which is what Yen's
+algorithm and the Remove-Find edge-disjoint method need.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import AbstractSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["shortest_path", "bfs_levels"]
+
+_EMPTY: frozenset = frozenset()
+
+
+def bfs_levels(
+    adj: Sequence[Sequence[int]],
+    source: int,
+    banned_nodes: AbstractSet[int] = _EMPTY,
+    banned_edges: AbstractSet[Tuple[int, int]] = _EMPTY,
+) -> np.ndarray:
+    """BFS hop distances from ``source`` honouring bans (-1 = unreachable).
+
+    ``banned_edges`` contains *directed* pairs; an undirected ban needs both
+    orientations.
+    """
+    n = len(adj)
+    dist = np.full(n, -1, dtype=np.int64)
+    if source in banned_nodes:
+        return dist
+    dist[source] = 0
+    queue = deque([source])
+    check_edges = bool(banned_edges)
+    while queue:
+        u = queue.popleft()
+        du = dist[u] + 1
+        for v in adj[u]:
+            if dist[v] >= 0 or v in banned_nodes:
+                continue
+            if check_edges and (u, v) in banned_edges:
+                continue
+            dist[v] = du
+            queue.append(v)
+    return dist
+
+
+def shortest_path(
+    adj: Sequence[Sequence[int]],
+    source: int,
+    destination: int,
+    *,
+    tie: str = "min",
+    rng: SeedLike = None,
+    banned_nodes: AbstractSet[int] = _EMPTY,
+    banned_edges: AbstractSet[Tuple[int, int]] = _EMPTY,
+) -> Optional[List[int]]:
+    """One shortest path from ``source`` to ``destination`` (or ``None``).
+
+    Parameters
+    ----------
+    tie:
+        ``"min"`` — deterministic, biased toward small node ids (vanilla);
+        ``"random"`` — uniform choice among predecessors at each backwalk
+        step (randomized variant).
+    rng:
+        Seed or generator; only consulted when ``tie == "random"``.
+    banned_nodes / banned_edges:
+        Nodes that may not appear and directed edges that may not be
+        traversed.  ``source``/``destination`` must not be banned for a path
+        to exist.
+    """
+    if tie not in ("min", "random"):
+        raise ConfigurationError(f'tie must be "min" or "random", got {tie!r}')
+    if source == destination:
+        return None if source in banned_nodes else [source]
+    if source in banned_nodes or destination in banned_nodes:
+        return None
+
+    dist = bfs_levels(adj, source, banned_nodes, banned_edges)
+    if dist[destination] < 0:
+        return None
+
+    # Backwalk from the destination: at node v pick a predecessor u with
+    # dist[u] == dist[v] - 1 and a usable edge u -> v.
+    check_edges = bool(banned_edges)
+    generator = ensure_rng(rng) if tie == "random" else None
+    path = [destination]
+    v = destination
+    while v != source:
+        target = dist[v] - 1
+        candidates = []
+        for u in adj[v]:
+            if dist[u] != target or u in banned_nodes:
+                continue
+            if check_edges and (u, v) in banned_edges:
+                continue
+            if tie == "min":
+                # adj is sorted, so the first candidate is the smallest id.
+                candidates.append(u)
+                break
+            candidates.append(u)
+        if not candidates:  # pragma: no cover - dist field guarantees one
+            return None
+        if tie == "min":
+            u = candidates[0]
+        else:
+            u = int(candidates[int(generator.integers(len(candidates)))])
+        path.append(u)
+        v = u
+    path.reverse()
+    return path

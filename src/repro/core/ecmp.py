@@ -1,0 +1,68 @@
+"""ECMP-style path enumeration: equal-cost shortest paths only.
+
+The Jellyfish literature's motivating observation (recounted in the
+paper's introduction) is that equal-cost multi-path routing performs
+poorly on Jellyfish: between most switch pairs there are few *shortest*
+paths, so ECMP finds little diversity where KSP-style schemes can also
+use slightly longer paths.  This module implements ECMP path enumeration
+so that claim is reproducible: all loop-free shortest paths between a
+pair (capped at ``k``), enumerated over the BFS distance DAG.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.dijkstra import bfs_levels
+from repro.core.path import Path
+from repro.errors import NoPathError
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ecmp_paths"]
+
+
+def ecmp_paths(
+    adj: Sequence[Sequence[int]],
+    source: int,
+    destination: int,
+    k: int,
+    *,
+    rng: SeedLike = None,
+) -> List[Path]:
+    """Up to ``k`` equal-cost shortest paths from ``source`` to ``destination``.
+
+    Paths are enumerated over the shortest-path DAG.  When more than ``k``
+    equal-cost paths exist, a deterministic run (``rng=None``) keeps the
+    lexicographically smallest ``k`` (the hardware-hashing analogue of a
+    biased tie-break); passing ``rng`` samples the kept subset by shuffling
+    neighbour exploration order.
+    """
+    check_positive_int(k, "k")
+    if source == destination:
+        return [Path([source])]
+    dist = bfs_levels(adj, source)
+    if dist[destination] < 0:
+        raise NoPathError(source, destination)
+
+    generator = ensure_rng(rng) if rng is not None else None
+    found: List[Path] = []
+
+    def walk(node: int, acc: List[int]) -> bool:
+        """DFS backwards over the distance DAG; returns False once full."""
+        if node == source:
+            found.append(Path([source] + acc[::-1]))
+            return len(found) < k
+        acc.append(node)
+        preds = [u for u in adj[node] if dist[u] == dist[node] - 1]
+        if generator is not None:
+            generator.shuffle(preds)
+        for u in preds:
+            if not walk(u, acc):
+                acc.pop()
+                return False
+        acc.pop()
+        return True
+
+    walk(destination, [])
+    return found

@@ -1,0 +1,163 @@
+"""Path and PathSet containers.
+
+A :class:`Path` is an immutable sequence of switch ids; a :class:`PathSet`
+is the ordered collection of paths a selector computed for one
+(source switch, destination switch) pair.  Both are hashable value types so
+they can key caches and be compared structurally in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import PathError
+
+__all__ = ["Path", "PathSet"]
+
+
+class Path:
+    """An immutable loop-free switch path.
+
+    ``hops`` is the link count (``len(nodes) - 1``); a single-switch path
+    (source switch == destination switch) has 0 hops and no edges.
+    """
+
+    __slots__ = ("nodes",)
+
+    def __init__(self, nodes: Sequence[int]):
+        nodes = tuple(int(v) for v in nodes)
+        if not nodes:
+            raise PathError("a path needs at least one switch")
+        if len(set(nodes)) != len(nodes):
+            raise PathError(f"path revisits a switch: {nodes}")
+        object.__setattr__(self, "nodes", nodes)
+
+    def __setattr__(self, name, value):  # immutability guard
+        raise AttributeError("Path is immutable")
+
+    def __reduce__(self):
+        # The immutability guard breaks pickle's default slot restore;
+        # rebuild through the constructor instead (needed to ship path
+        # tables to worker processes in parallel sweeps).
+        return (Path, (self.nodes,))
+
+    @property
+    def source(self) -> int:
+        return self.nodes[0]
+
+    @property
+    def destination(self) -> int:
+        return self.nodes[-1]
+
+    @property
+    def hops(self) -> int:
+        return len(self.nodes) - 1
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Directed edges along the path, in order."""
+        return [
+            (self.nodes[i], self.nodes[i + 1]) for i in range(len(self.nodes) - 1)
+        ]
+
+    def undirected_edges(self) -> List[Tuple[int, int]]:
+        """Edges normalised to ``(min, max)`` — used for link-sharing metrics."""
+        return [(min(u, v), max(u, v)) for u, v in self.edges()]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.nodes)
+
+    def __getitem__(self, idx):
+        return self.nodes[idx]
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Path) and self.nodes == other.nodes
+
+    def __lt__(self, other: "Path") -> bool:
+        """Order by hop count, then lexicographically (Yen tie-break)."""
+        return (self.hops, self.nodes) < (other.hops, other.nodes)
+
+    def __hash__(self) -> int:
+        return hash(self.nodes)
+
+    def __repr__(self) -> str:
+        return "Path(" + "->".join(map(str, self.nodes)) + ")"
+
+
+class PathSet:
+    """The ordered paths a selector computed for one switch pair.
+
+    The first path is always the scheme's "minimal" path (UGAL variants rely
+    on this).  A PathSet never mixes endpoints: every member path must share
+    the set's source and destination.
+    """
+
+    __slots__ = ("source", "destination", "paths")
+
+    def __init__(self, source: int, destination: int, paths: Iterable[Path]):
+        paths = tuple(paths)
+        if not paths:
+            raise PathError(
+                f"empty path set for pair ({source}, {destination})"
+            )
+        for p in paths:
+            if p.source != source or p.destination != destination:
+                raise PathError(
+                    f"path {p!r} does not connect ({source}, {destination})"
+                )
+        if len(set(paths)) != len(paths):
+            raise PathError(
+                f"duplicate paths in set for pair ({source}, {destination})"
+            )
+        object.__setattr__(self, "source", int(source))
+        object.__setattr__(self, "destination", int(destination))
+        object.__setattr__(self, "paths", paths)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("PathSet is immutable")
+
+    def __reduce__(self):
+        return (PathSet, (self.source, self.destination, self.paths))
+
+    @property
+    def k(self) -> int:
+        return len(self.paths)
+
+    @property
+    def minimal(self) -> Path:
+        """The scheme's minimal path (shortest; ties per scheme policy)."""
+        return self.paths[0]
+
+    def hop_counts(self) -> List[int]:
+        return [p.hops for p in self.paths]
+
+    def mean_hops(self) -> float:
+        return sum(p.hops for p in self.paths) / len(self.paths)
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __iter__(self) -> Iterator[Path]:
+        return iter(self.paths)
+
+    def __getitem__(self, idx) -> Path:
+        return self.paths[idx]
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, PathSet)
+            and self.source == other.source
+            and self.destination == other.destination
+            and self.paths == other.paths
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.source, self.destination, self.paths))
+
+    def __repr__(self) -> str:
+        return (
+            f"PathSet({self.source}->{self.destination}, k={self.k}, "
+            f"hops={self.hop_counts()})"
+        )

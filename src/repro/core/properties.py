@@ -1,0 +1,107 @@
+"""Path-set quality metrics (the methodology behind Tables II, III, IV).
+
+Three views of a collection of PathSets:
+
+- :func:`average_path_length` — mean hops over all paths of all pairs
+  (Table II);
+- :func:`fraction_disjoint_pairs` — fraction of pairs whose ``k`` paths are
+  pairwise link-disjoint (Table III);
+- :func:`max_link_sharing` — the worst-case number of one pair's paths that
+  traverse the same physical link (Table IV; 1 means fully disjoint).
+
+Link sharing is counted on *undirected* links: the paper's argument is about
+cable bandwidth, and every cited value (e.g. "7 of 8 paths share one link")
+is consistent with that reading.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable
+
+from repro.core.path import PathSet
+
+__all__ = [
+    "average_path_length",
+    "fraction_disjoint_pairs",
+    "max_link_sharing",
+    "pathset_is_edge_disjoint",
+    "pathset_max_link_sharing",
+    "path_quality_report",
+]
+
+
+def pathset_max_link_sharing(ps: PathSet) -> int:
+    """Max number of this pair's paths using any single undirected link.
+
+    Returns 0 for the trivial intra-switch PathSet (no links at all).
+    """
+    counts: Counter = Counter()
+    for path in ps:
+        for edge in path.undirected_edges():
+            counts[edge] += 1
+    return max(counts.values()) if counts else 0
+
+
+def pathset_is_edge_disjoint(ps: PathSet) -> bool:
+    """True when no undirected link appears in two of the pair's paths."""
+    return pathset_max_link_sharing(ps) <= 1
+
+
+def average_path_length(pathsets: Iterable[PathSet]) -> float:
+    """Mean hop count over every path of every PathSet (Table II metric)."""
+    total = 0
+    count = 0
+    for ps in pathsets:
+        for path in ps:
+            total += path.hops
+            count += 1
+    if count == 0:
+        return 0.0
+    return total / count
+
+
+def fraction_disjoint_pairs(pathsets: Iterable[PathSet]) -> float:
+    """Fraction of pairs whose paths share no link (Table III metric)."""
+    disjoint = 0
+    count = 0
+    for ps in pathsets:
+        count += 1
+        if pathset_is_edge_disjoint(ps):
+            disjoint += 1
+    if count == 0:
+        return 0.0
+    return disjoint / count
+
+
+def max_link_sharing(pathsets: Iterable[PathSet]) -> int:
+    """Worst-case single-link sharing over all pairs (Table IV metric)."""
+    worst = 0
+    for ps in pathsets:
+        worst = max(worst, pathset_max_link_sharing(ps))
+    return worst
+
+
+def path_quality_report(pathsets: Iterable[PathSet]) -> Dict[str, float]:
+    """All three table metrics (plus pair count) in one pass."""
+    total_hops = 0
+    n_paths = 0
+    n_pairs = 0
+    disjoint = 0
+    worst = 0
+    for ps in pathsets:
+        n_pairs += 1
+        sharing = pathset_max_link_sharing(ps)
+        worst = max(worst, sharing)
+        if sharing <= 1:
+            disjoint += 1
+        for path in ps:
+            total_hops += path.hops
+            n_paths += 1
+    return {
+        "pairs": n_pairs,
+        "paths": n_paths,
+        "average_path_length": total_hops / n_paths if n_paths else 0.0,
+        "fraction_disjoint_pairs": disjoint / n_pairs if n_pairs else 0.0,
+        "max_link_sharing": worst,
+    }

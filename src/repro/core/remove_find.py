@@ -1,0 +1,66 @@
+"""Remove-Find edge-disjoint path computation (Guo et al. [9]).
+
+The RF method behind EDKSP/rEDKSP: find a shortest path, remove its edges
+from the graph, repeat ``k`` times or until the endpoints disconnect.  The
+shortest-path subroutine's tie policy again selects the deterministic
+(EDKSP) versus randomized (rEDKSP) flavour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.core.dijkstra import shortest_path
+from repro.core.path import Path
+from repro.errors import InsufficientPathsError, NoPathError
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_in, check_positive_int
+
+__all__ = ["edge_disjoint_paths"]
+
+
+def edge_disjoint_paths(
+    adj: Sequence[Sequence[int]],
+    source: int,
+    destination: int,
+    k: int,
+    *,
+    tie: str = "min",
+    rng: SeedLike = None,
+    on_shortfall: str = "truncate",
+) -> List[Path]:
+    """Up to ``k`` pairwise edge-disjoint shortest paths via Remove-Find.
+
+    Paths come out in the order found (nondecreasing hops: removing edges
+    can only lengthen later paths).  Disjointness is on *undirected* links —
+    two paths may not use the same cable in either direction, matching the
+    link-sharing notion of Tables III/IV.
+
+    ``on_shortfall="truncate"`` (paper behaviour) returns fewer paths when
+    the endpoints disconnect early; ``"error"`` raises instead.
+    """
+    check_positive_int(k, "k")
+    check_in(tie, ("min", "random"), "tie")
+    check_in(on_shortfall, ("truncate", "error"), "on_shortfall")
+    generator = ensure_rng(rng) if tie == "random" else None
+
+    paths: List[Path] = []
+    banned: Set[Tuple[int, int]] = set()
+    for _ in range(k):
+        nodes = shortest_path(
+            adj, source, destination, tie=tie, rng=generator, banned_edges=banned
+        )
+        if nodes is None:
+            break
+        path = Path(nodes)
+        paths.append(path)
+        if source == destination:
+            break  # only one trivial path exists
+        for u, v in path.edges():
+            banned.add((u, v))
+            banned.add((v, u))
+    if not paths:
+        raise NoPathError(source, destination)
+    if len(paths) < k and source != destination and on_shortfall == "error":
+        raise InsufficientPathsError(source, destination, k, paths)
+    return paths

@@ -1,0 +1,130 @@
+"""Yen's k-shortest loopless paths (Figure 2 of the paper).
+
+The implementation keeps Yen's two containers: ``A`` (accepted paths) and a
+candidate heap ``B``.  The shortest-path subroutine is the pluggable
+tie-breaking BFS from :mod:`repro.core.dijkstra`; passing ``tie="random"``
+yields the paper's rKSP (both the spur search *and* the selection among
+equal-length candidates in ``B`` are randomized, so no systematic node-id
+bias survives).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.dijkstra import shortest_path
+from repro.core.path import Path
+from repro.errors import InsufficientPathsError, NoPathError
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_in, check_positive_int
+
+__all__ = ["k_shortest_paths"]
+
+
+def k_shortest_paths(
+    adj: Sequence[Sequence[int]],
+    source: int,
+    destination: int,
+    k: int,
+    *,
+    tie: str = "min",
+    rng: SeedLike = None,
+    on_shortfall: str = "truncate",
+) -> List[Path]:
+    """The ``k`` shortest loopless paths from ``source`` to ``destination``.
+
+    Paths are returned in nondecreasing hop order.  When fewer than ``k``
+    loopless paths exist, behaviour follows ``on_shortfall``:
+    ``"truncate"`` returns what was found, ``"error"`` raises
+    :class:`InsufficientPathsError`.
+
+    Parameters mirror :func:`repro.core.dijkstra.shortest_path`; ``tie`` and
+    ``rng`` select vanilla KSP (``"min"``) versus rKSP (``"random"``).
+    """
+    check_positive_int(k, "k")
+    check_in(tie, ("min", "random"), "tie")
+    check_in(on_shortfall, ("truncate", "error"), "on_shortfall")
+    generator = ensure_rng(rng) if tie == "random" else None
+
+    first = shortest_path(adj, source, destination, tie=tie, rng=generator)
+    if first is None:
+        raise NoPathError(source, destination)
+
+    accepted: List[Path] = [Path(first)]
+    if source == destination:
+        # The only loopless path is the trivial one.
+        if k > 1 and on_shortfall == "error":
+            raise InsufficientPathsError(source, destination, k, accepted)
+        return accepted
+
+    # Candidate heap entries: (hops, tiebreak, nodes). Deterministic runs
+    # break ties lexicographically on the node tuple (small-id bias, like
+    # the vanilla algorithm); randomized runs use a uniform draw.
+    heap: List[Tuple[int, object, Tuple[int, ...]]] = []
+    seen_candidates = {tuple(first)}
+
+    def push_candidate(nodes: Tuple[int, ...]) -> None:
+        if nodes in seen_candidates:
+            return
+        seen_candidates.add(nodes)
+        if tie == "min":
+            entry = (len(nodes) - 1, nodes, nodes)
+        else:
+            entry = (len(nodes) - 1, float(generator.random()), nodes)
+        heapq.heappush(heap, entry)
+
+    while len(accepted) < k:
+        prev = accepted[-1].nodes
+        # Spur from every node of the last accepted path except the
+        # destination (Figure 2, lines 6-22).
+        for j in range(len(prev) - 1):
+            spur = prev[j]
+            root = prev[: j + 1]
+            banned_edges = set()
+            for p in accepted:
+                if p.nodes[: j + 1] == root and len(p.nodes) > j + 1:
+                    banned_edges.add((p.nodes[j], p.nodes[j + 1]))
+            banned_nodes = set(root[:-1])
+            spur_path = shortest_path(
+                adj,
+                spur,
+                destination,
+                tie=tie,
+                rng=generator,
+                banned_nodes=banned_nodes,
+                banned_edges=banned_edges,
+            )
+            if spur_path is not None:
+                push_candidate(root[:-1] + tuple(spur_path))
+        if not heap:
+            break
+        _, _, nodes = heapq.heappop(heap)
+        accepted.append(Path(nodes))
+
+    if len(accepted) < k and on_shortfall == "error":
+        raise InsufficientPathsError(source, destination, k, accepted)
+    return accepted
+
+
+def path_spectrum(
+    adj: Sequence[Sequence[int]],
+    source: int,
+    destination: int,
+    max_paths: int,
+    max_hops: int,
+    *,
+    tie: str = "min",
+    rng: SeedLike = None,
+) -> List[Path]:
+    """Shortest paths until either ``max_paths`` found or length exceeds
+    ``max_hops`` — the enumeration primitive LLSKR builds on.
+
+    Returns every discovered path with ``hops <= max_hops`` (at most
+    ``max_paths``), in nondecreasing hop order.
+    """
+    found = k_shortest_paths(
+        adj, source, destination, max_paths, tie=tie, rng=rng,
+        on_shortfall="truncate",
+    )
+    return [p for p in found if p.hops <= max_hops]

@@ -1,0 +1,89 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch one base class.  Subclasses indicate which subsystem failed and are
+raised with actionable messages (what was asked, what constraint was
+violated).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "ConstructionError",
+    "PathError",
+    "NoPathError",
+    "InsufficientPathsError",
+    "TrafficError",
+    "MappingError",
+    "ModelError",
+    "SimulationError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class TopologyError(ReproError):
+    """Invalid topology parameters or malformed topology."""
+
+
+class ConstructionError(TopologyError):
+    """Random-graph construction failed (e.g. could not satisfy degree)."""
+
+
+class PathError(ReproError):
+    """Base class for path-computation errors."""
+
+
+class NoPathError(PathError):
+    """No path exists between the requested endpoints."""
+
+    def __init__(self, source, destination, detail: str = ""):
+        self.source = source
+        self.destination = destination
+        msg = f"no path from {source!r} to {destination!r}"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+
+
+class InsufficientPathsError(PathError):
+    """Fewer than the requested number of paths exist.
+
+    Carries the paths that *were* found so callers can decide whether a
+    shorter path set is acceptable.
+    """
+
+    def __init__(self, source, destination, requested: int, found):
+        self.source = source
+        self.destination = destination
+        self.requested = requested
+        self.found = list(found)
+        super().__init__(
+            f"requested {requested} paths from {source!r} to {destination!r}, "
+            f"only {len(self.found)} exist"
+        )
+
+
+class TrafficError(ReproError):
+    """Invalid traffic-pattern specification."""
+
+
+class MappingError(TrafficError):
+    """Invalid process-to-node mapping."""
+
+
+class ModelError(ReproError):
+    """Throughput-model input is inconsistent (e.g. empty flow set)."""
+
+
+class SimulationError(ReproError):
+    """A simulator reached an invalid state or was misconfigured."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid experiment/simulator configuration value."""

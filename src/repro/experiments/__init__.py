@@ -1,0 +1,18 @@
+"""Experiment drivers: one per table and figure of the paper.
+
+Every driver exposes ``run(scale=..., seed=...) -> ExperimentResult``; the
+registry in :mod:`repro.experiments.runner` maps experiment ids
+(``table1`` ... ``table6``, ``fig4`` ... ``fig13``) to drivers, and
+``python -m repro.experiments <id> [--scale small|medium|paper]`` runs one
+from the command line.
+
+Scales trade fidelity for runtime: ``small`` finishes in seconds per
+experiment (CI/benchmarks), ``medium`` reproduces the paper's small
+topology exactly and scales the rest down, ``paper`` uses the original
+parameters everywhere (hours for the cycle-level sweeps).
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment"]

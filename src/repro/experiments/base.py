@@ -1,0 +1,39 @@
+"""Common result container for experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+from repro.utils.tables import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """A paper-shaped table produced by one experiment driver.
+
+    ``rows`` are printable cells in the same layout as the paper's table or
+    figure series; ``data`` keeps the raw values for programmatic use
+    (tests, benchmarks, EXPERIMENTS.md generation).
+    """
+
+    experiment: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]]
+    scale: str
+    notes: str = ""
+    data: dict = field(default_factory=dict)
+
+    def to_text(self, ndigits: int = 3) -> str:
+        out = format_table(
+            self.headers,
+            self.rows,
+            title=f"[{self.experiment} @ {self.scale}] {self.title}",
+            ndigits=ndigits,
+        )
+        if self.notes:
+            out += f"\n# {self.notes}"
+        return out

@@ -1,0 +1,92 @@
+"""Figures 4, 5, 6: throughput-model comparison of the path selectors.
+
+For each traffic pattern (random permutation, random shift, Random(X),
+all-to-all), averages the modelled per-node throughput over several
+topology samples and pattern instances — the paper's 10 x 50 protocol,
+scaled per preset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core import PathCache
+from repro.experiments.base import ExperimentResult
+from repro.experiments.presets import model_preset
+from repro.model import model_throughput
+from repro.topology import Jellyfish
+from repro.traffic import all_to_all, random_destinations, random_permutation, random_shift
+from repro.utils.rng import SeedLike, spawn_rngs
+
+SCHEMES = ("sp", "ksp", "rksp", "edksp", "redksp")
+
+
+def run_fig(figure: int, scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
+    """One model figure: per-pattern mean per-node throughput per scheme."""
+    preset = model_preset(scale, figure)
+    spec = preset["topo"]
+    k = preset["k"]
+    topo_rngs = spawn_rngs(seed, preset["topo_samples"])
+
+    sums: Dict[str, Dict[str, list]] = {s: {} for s in SCHEMES}
+    for topo_rng in topo_rngs:
+        topo = Jellyfish(spec.n, spec.x, spec.y, seed=topo_rng)
+        n = topo.n_hosts
+        patterns = []
+        pat_rngs = spawn_rngs(topo_rng, 3 * preset["pattern_instances"])
+        it = iter(pat_rngs)
+        for _ in range(preset["pattern_instances"]):
+            patterns.append(("permutation", random_permutation(n, seed=next(it))))
+            patterns.append(("shift", random_shift(n, seed=next(it))))
+            patterns.append(
+                (
+                    f"random({preset['random_x']})",
+                    random_destinations(n, preset["random_x"], seed=next(it)),
+                )
+            )
+        if preset["all_to_all"]:
+            patterns.append(("all-to-all", all_to_all(n)))
+
+        for scheme in SCHEMES:
+            cache = PathCache(topo, scheme, k=k, seed=int(topo_rng.integers(2**31)))
+            for name, pattern in patterns:
+                r = model_throughput(topo, pattern, cache)
+                sums[scheme].setdefault(name, []).append(r.mean_per_node())
+
+    pattern_names = list(next(iter(sums.values())).keys())
+    rows = []
+    data: Dict[str, Dict[str, float]] = {}
+    for scheme in SCHEMES:
+        means = {name: float(np.mean(vals)) for name, vals in sums[scheme].items()}
+        data[scheme] = means
+        rows.append([scheme] + [round(means[name], 3) for name in pattern_names])
+
+    return ExperimentResult(
+        experiment=f"fig{figure}",
+        title=f"Average model throughput on {spec.label}",
+        headers=["scheme"] + pattern_names,
+        rows=rows,
+        scale=scale,
+        notes=(
+            f"k={k}; {preset['topo_samples']} topology samples x "
+            f"{preset['pattern_instances']} pattern instances"
+        ),
+        data=data,
+    )
+
+
+def run_fig4(scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
+    """Figure 4: model throughput on the small topology."""
+    return run_fig(4, scale, seed)
+
+
+def run_fig5(scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
+    """Figure 5: model throughput on the medium topology."""
+    return run_fig(5, scale, seed)
+
+
+def run_fig6(scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
+    """Figure 6: model throughput on the large topology."""
+    return run_fig(6, scale, seed)

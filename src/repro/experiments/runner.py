@@ -1,0 +1,93 @@
+"""Experiment registry and command-line entry point."""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.ext_failures import run as run_ext_failures
+from repro.experiments.figs_latency import run_fig11, run_fig12, run_fig13
+from repro.experiments.figs_model import run_fig4, run_fig5, run_fig6
+from repro.experiments.figs_netsim import run_fig7, run_fig8, run_fig9, run_fig10
+from repro.experiments.presets import SCALES
+from repro.experiments.table1 import run as run_table1
+from repro.experiments.tables234 import run_table2, run_table3, run_table4
+from repro.experiments.tables_stencil import run_table5, run_table6
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    # Extension studies beyond the paper's tables/figures.
+    "ext_failures": run_ext_failures,
+}
+
+#: The experiments that correspond to the paper's own tables and figures
+#: (the registry may also hold ``ext_*`` extension studies).
+PAPER_EXPERIMENTS = tuple(
+    name for name in EXPERIMENTS if not name.startswith("ext_")
+)
+
+
+def run_experiment(name: str, scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Run one experiment by id (``"table1"`` ... ``"fig13"``)."""
+    try:
+        driver = EXPERIMENTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return driver(scale=scale, seed=seed)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a table or figure of the paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="+",
+        help=f"experiment id(s): {', '.join(sorted(EXPERIMENTS))}, or 'all'",
+    )
+    parser.add_argument("--scale", choices=SCALES, default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--export-dir",
+        default=None,
+        help="also write <experiment>.json and <experiment>.csv here",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiment else args.experiment
+    for name in names:
+        result = run_experiment(name, scale=args.scale, seed=args.seed)
+        print(result.to_text())
+        print()
+        if args.export_dir is not None:
+            from pathlib import Path
+
+            from repro.report import save_result
+
+            out = Path(args.export_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            save_result(result, out / f"{name}.json")
+            save_result(result, out / f"{name}.csv")
+    return 0

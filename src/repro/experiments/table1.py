@@ -1,0 +1,38 @@
+"""Table I: the evaluation topologies and their average shortest path length."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.presets import topo_trio
+from repro.topology import Jellyfish, average_shortest_path_length
+from repro.utils.rng import SeedLike, spawn_rngs
+
+#: The paper's Table I "Average shortest path len." column.
+PAPER_APL = {"RRG(36,24,16)": 1.54, "RRG(720,24,19)": 2.57, "RRG(2880,48,38)": 2.59}
+
+
+def run(scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
+    """Build each topology and measure its average shortest path length."""
+    specs = topo_trio(scale)
+    rngs = spawn_rngs(seed, len(specs))
+    rows = []
+    data = {}
+    for spec, rng in zip(specs, rngs):
+        topo = Jellyfish(spec.n, spec.x, spec.y, seed=rng)
+        sample = None if spec.n <= 200 else 200
+        apl = average_shortest_path_length(topo.adjacency, sample=sample, seed=rng)
+        paper = PAPER_APL.get(spec.label, "-")
+        rows.append([spec.label, spec.x, spec.n, spec.n_hosts, round(apl, 3), paper])
+        data[spec.label] = {"apl": apl, "hosts": spec.n_hosts}
+    return ExperimentResult(
+        experiment="table1",
+        title="Jellyfish topologies used in the experiments",
+        headers=[
+            "Topology", "Switch size", "No. switches", "No. compute nodes",
+            "Avg shortest path len.", "paper",
+        ],
+        rows=rows,
+        scale=scale,
+        notes="paper column applies to the paper-scale topologies only",
+        data=data,
+    )

@@ -1,0 +1,125 @@
+"""Tables II, III, IV: path-quality metrics of the four selection schemes.
+
+One pass computes all three tables per topology x scheme: average path
+length (II), percentage of switch pairs whose k paths share no link (III),
+and the worst-case number of one pair's paths on a single link (IV).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core import PathCache, path_quality_report
+from repro.experiments.base import ExperimentResult
+from repro.experiments.presets import pathprops_preset
+from repro.topology import Jellyfish
+from repro.utils.rng import SeedLike, spawn_rngs
+
+SCHEMES = ("ksp", "rksp", "edksp", "redksp")
+
+#: Paper values for the paper-scale topologies, per (table, topology label).
+PAPER = {
+    "table2": {
+        "RRG(36,24,16)": (2.06, 2.06, 2.06, 2.06),
+        "RRG(720,24,19)": (3.02, 3.02, 3.16, 3.16),
+        "RRG(2880,48,38)": (2.94, 2.94, 2.94, 2.94),
+    },
+    "table3": {
+        "RRG(36,24,16)": (0.56, 0.59, 1.00, 1.00),
+        "RRG(720,24,19)": (0.02, 0.03, 1.00, 1.00),
+        "RRG(2880,48,38)": (0.09, 0.22, 1.00, 1.00),
+    },
+    "table4": {
+        "RRG(36,24,16)": (6, 3, 1, 1),
+        "RRG(720,24,19)": (7, 7, 1, 1),
+        "RRG(2880,48,38)": (7, 6, 1, 1),
+    },
+}
+
+
+def _sample_pairs(n: int, sample: int | None, rng) -> List[Tuple[int, int]]:
+    if sample is None:
+        return [(s, d) for s in range(n) for d in range(n) if s != d]
+    pairs = set()
+    while len(pairs) < sample:
+        s, d = rng.integers(n, size=2)
+        if s != d:
+            pairs.add((int(s), int(d)))
+    return sorted(pairs)
+
+
+def compute_reports(scale: str, seed: SeedLike) -> Dict[str, Dict[str, dict]]:
+    """{topology label: {scheme: quality report}} for the preset topologies."""
+    preset = pathprops_preset(scale)
+    out: Dict[str, Dict[str, dict]] = {}
+    rngs = spawn_rngs(seed, len(preset["topologies"]))
+    for spec, sample, rng in zip(
+        preset["topologies"], preset["pair_sample"], rngs
+    ):
+        topo = Jellyfish(spec.n, spec.x, spec.y, seed=rng)
+        pairs = _sample_pairs(spec.n, sample, rng)
+        per_scheme = {}
+        for scheme in SCHEMES:
+            cache = PathCache(topo, scheme, k=preset["k"], seed=int(rng.integers(2**31)))
+            per_scheme[scheme] = path_quality_report(
+                cache.get(s, d) for s, d in pairs
+            )
+        out[spec.label] = per_scheme
+    return out
+
+
+_REPORT_CACHE: dict = {}
+
+
+def _reports(scale: str, seed) -> Dict[str, Dict[str, dict]]:
+    key = (scale, int(np.random.SeedSequence(seed).entropy or 0) if seed is None else seed)
+    if key not in _REPORT_CACHE:
+        _REPORT_CACHE[key] = compute_reports(scale, seed)
+    return _REPORT_CACHE[key]
+
+
+def _result(table: str, metric: str, title: str, scale: str, seed, fmt) -> ExperimentResult:
+    reports = _reports(scale, seed)
+    rows = []
+    for label, per_scheme in reports.items():
+        row = [label] + [fmt(per_scheme[s][metric]) for s in SCHEMES]
+        paper = PAPER[table].get(label)
+        row.append("/".join(map(str, paper)) if paper else "-")
+        rows.append(row)
+    return ExperimentResult(
+        experiment=table,
+        title=title,
+        headers=["Topology", "KSP(8)", "rKSP(8)", "EDKSP(8)", "rEDKSP(8)", "paper"],
+        rows=rows,
+        scale=scale,
+        notes="pair-sampled on larger topologies (see presets)",
+        data=reports,
+    )
+
+
+def run_table2(scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
+    """Table II: average path length (k = 8)."""
+    return _result(
+        "table2", "average_path_length", "Average path length (k=8)",
+        scale, seed, lambda v: round(v, 3),
+    )
+
+
+def run_table3(scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
+    """Table III: % of switch pairs whose k paths share no link."""
+    return _result(
+        "table3", "fraction_disjoint_pairs",
+        "Percentage of switch pairs whose k paths do not share any link (k=8)",
+        scale, seed, lambda v: f"{100 * v:.0f}%",
+    )
+
+
+def run_table4(scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
+    """Table IV: max times one link is shared by a single pair's k paths."""
+    return _result(
+        "table4", "max_link_sharing",
+        "Maximum number of times one link is shared by the k paths of one pair (k=8)",
+        scale, seed, lambda v: int(v),
+    )

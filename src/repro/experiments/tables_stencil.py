@@ -1,0 +1,108 @@
+"""Tables V and VI: stencil communication times per path-selection scheme.
+
+For each application (2DNN, 2DNNdiag, 3DNN, 3DNNdiag) the drivers report
+the exchange communication time under rEDKSP(8), KSP(8), and rKSP(8) with
+KSP-adaptive routing, plus the improvement of rEDKSP over each — the
+paper's Table V (linear mapping) and Table VI (random mapping).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.appsim import stencil_time
+from repro.core import PathCache
+from repro.experiments.base import ExperimentResult
+from repro.experiments.presets import stencil_preset
+from repro.topology import Jellyfish
+from repro.utils.rng import SeedLike, spawn_rngs
+
+APPS = ("2dnn", "2dnndiag", "3dnn", "3dnndiag")
+
+#: Paper communication times in ms: {mapping: {app: (rEDKSP, KSP, rKSP)}}.
+PAPER = {
+    "linear": {
+        "2dnn": (0.83, 0.91, 0.88),
+        "2dnndiag": (1.07, 1.20, 1.15),
+        "3dnn": (0.90, 0.95, 0.93),
+        "3dnndiag": (1.01, 1.04, 1.02),
+    },
+    "random": {
+        "2dnn": (0.92, 0.99, 0.94),
+        "2dnndiag": (0.86, 0.92, 0.84),
+        "3dnn": (0.88, 0.95, 0.88),
+        "3dnndiag": (0.76, 0.86, 0.78),
+    },
+}
+
+
+def run_table(mapping: str, scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
+    """One stencil table (``mapping`` = ``"linear"`` or ``"random"``)."""
+    preset = stencil_preset(scale)
+    spec = preset["topo"]
+    topo_rng, map_rng, *scheme_rngs = spawn_rngs(seed, 2 + len(preset["schemes"]))
+    topo = Jellyfish(spec.n, spec.x, spec.y, seed=topo_rng)
+
+    # One seed per app, fixed across schemes so every scheme sees the same
+    # mapping and the comparison is paired (as in the paper).
+    app_seeds = {app: int(map_rng.integers(2**31)) for app in APPS}
+    times: Dict[str, Dict[str, float]] = {}
+    for scheme, rng in zip(preset["schemes"], scheme_rngs):
+        cache = PathCache(topo, scheme, k=preset["k"], seed=int(rng.integers(2**31)))
+        times[scheme] = {}
+        for app in APPS:
+            r = stencil_time(
+                topo, app, scheme,
+                mapping=mapping,
+                mechanism="ksp_adaptive",
+                k=preset["k"],
+                total_bytes=preset["total_bytes"],
+                link_bandwidth=preset["link_bandwidth"],
+                chunks=preset["chunks"],
+                seed=app_seeds[app],
+                paths=cache,
+            )
+            times[scheme][app] = r.makespan_ms()
+
+    rows = []
+    for app in APPS:
+        red = times["redksp"][app]
+        ksp = times["ksp"][app]
+        rksp = times["rksp"][app]
+        rows.append(
+            [
+                app,
+                round(red, 3),
+                round(ksp, 3),
+                f"{100 * (ksp - red) / ksp:+.1f}%",
+                round(rksp, 3),
+                f"{100 * (rksp - red) / rksp:+.1f}%",
+            ]
+        )
+    imp_ksp = sum((times["ksp"][a] - times["redksp"][a]) / times["ksp"][a] for a in APPS) / len(APPS)
+    imp_rksp = sum((times["rksp"][a] - times["redksp"][a]) / times["rksp"][a] for a in APPS) / len(APPS)
+    rows.append(["Average", "", "", f"{100 * imp_ksp:+.1f}%", "", f"{100 * imp_rksp:+.1f}%"])
+
+    table_id = "table5" if mapping == "linear" else "table6"
+    return ExperimentResult(
+        experiment=table_id,
+        title=(
+            f"Communication time (ms), {mapping} mapping on {spec.label}, "
+            "KSP-adaptive routing"
+        ),
+        headers=["app", "rEDKSP(8) ms", "KSP(8) ms", "imp.", "rKSP(8) ms", "imp."],
+        rows=rows,
+        scale=scale,
+        notes=f"paper (linear): rEDKSP beats KSP by 7.6% and rKSP by 4.5% on average",
+        data=times,
+    )
+
+
+def run_table5(scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
+    """Table V: linear process-to-node mapping."""
+    return run_table("linear", scale, seed)
+
+
+def run_table6(scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
+    """Table VI: random process-to-node mapping."""
+    return run_table("random", scale, seed)

@@ -1,0 +1,5 @@
+"""The MPTCP-style throughput model (Eq. 1 of the paper)."""
+
+from repro.model.throughput import ThroughputResult, model_throughput
+
+__all__ = ["ThroughputResult", "model_throughput"]

@@ -1,0 +1,56 @@
+"""Flit-level, cycle-driven interconnection-network simulator.
+
+A from-scratch replacement for the Booksim 2.0 setup of Section IV:
+input-queued routers with per-virtual-channel buffers and credit-based flow
+control, hop-indexed VCs for deadlock freedom, pipelined channels with a
+configurable latency, input speedup 2, single-flit packets, and the paper's
+warmup/sampling/saturation methodology.
+
+Entry points:
+
+- :class:`~repro.netsim.simulator.Simulator` — one run at one injection rate;
+- :func:`~repro.netsim.sweep.saturation_throughput` — the Figures 7-10 metric;
+- :func:`~repro.netsim.sweep.latency_curve` — the Figures 11-13 curves;
+- :data:`~repro.netsim.mechanisms.MECHANISMS` — SP / random / round-robin /
+  vanilla-UGAL / KSP-UGAL / KSP-adaptive.
+"""
+
+from repro.netsim.config import SimConfig
+from repro.netsim.mechanisms import (
+    MECHANISMS,
+    make_mechanism,
+    RandomMechanism,
+    RoundRobinMechanism,
+    SinglePathMechanism,
+    VanillaUgalMechanism,
+    KspUgalMechanism,
+    KspAdaptiveMechanism,
+)
+from repro.netsim.simulator import (
+    Simulator,
+    SimResult,
+    UniformTraffic,
+    PatternTraffic,
+)
+from repro.netsim.sweep import latency_curve, saturation_throughput
+from repro.netsim.parallel import GridCell, run_saturation_grid
+
+__all__ = [
+    "GridCell",
+    "run_saturation_grid",
+    "SimConfig",
+    "MECHANISMS",
+    "make_mechanism",
+    "SinglePathMechanism",
+    "RandomMechanism",
+    "RoundRobinMechanism",
+    "VanillaUgalMechanism",
+    "KspUgalMechanism",
+    "KspAdaptiveMechanism",
+    "Simulator",
+    "SimResult",
+    "UniformTraffic",
+    "PatternTraffic",
+    "latency_curve",
+    "saturation_throughput",
+]

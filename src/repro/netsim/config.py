@@ -1,0 +1,77 @@
+"""Simulator configuration (the paper's Booksim parameter block)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SimConfig"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Knobs of the flit-level simulator, defaulted to the paper's values.
+
+    Attributes
+    ----------
+    channel_latency:
+        Cycles a flit spends on any channel (paper: 10).
+    vc_buffer:
+        Flit capacity of each (input port, VC) buffer (paper: 32).
+    input_speedup:
+        Flits one input port may forward per cycle (paper: router speedup
+        2.0 — the crossbar, not the links, runs at twice line rate).
+    warmup_cycles:
+        Cycles simulated before statistics collection starts (paper: 500).
+    sample_cycles:
+        Length of one measurement sample (paper: 500).
+    n_samples:
+        Number of samples collected (paper: 10, i.e. 5000 cycles).
+    saturation_latency:
+        A run counts as saturated when any sample's average packet latency
+        exceeds this (paper: 500 cycles).
+    drain_max_cycles:
+        Safety bound on extra cycles when draining in-flight packets for
+        conservation checks (not part of the paper methodology).
+    adaptive_estimate:
+        Latency-estimate flavour for the adaptive mechanisms: ``"path"``
+        (queued flits summed along the whole source route plus pipeline
+        delay, the default) or ``"first"`` (classic UGAL-L first-channel
+        queue x hops product; kept for the ablation study).
+    """
+
+    channel_latency: int = 10
+    vc_buffer: int = 32
+    input_speedup: int = 2
+    warmup_cycles: int = 500
+    sample_cycles: int = 500
+    n_samples: int = 10
+    saturation_latency: float = 500.0
+    drain_max_cycles: int = 20_000
+    adaptive_estimate: str = "path"
+
+    def __post_init__(self):
+        for name in (
+            "channel_latency",
+            "vc_buffer",
+            "input_speedup",
+            "sample_cycles",
+            "n_samples",
+        ):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+        if self.warmup_cycles < 0:
+            raise ConfigurationError("warmup_cycles must be >= 0")
+        if self.saturation_latency <= 0:
+            raise ConfigurationError("saturation_latency must be > 0")
+
+    @property
+    def measure_cycles(self) -> int:
+        """Total measured cycles (samples x sample length)."""
+        return self.sample_cycles * self.n_samples
+
+    @property
+    def total_cycles(self) -> int:
+        """Warmup plus measurement."""
+        return self.warmup_cycles + self.measure_cycles

@@ -1,0 +1,329 @@
+"""Routing mechanisms: which path does each packet take?
+
+Implements the six mechanisms of Section III-B / IV-A.  A mechanism is
+consulted once per packet at injection time (source routing) and returns
+the switch path the packet will follow:
+
+- ``sp`` — always the minimal path;
+- ``random`` — uniform over the pair's ``k`` paths;
+- ``round_robin`` — cycles through the pair's paths;
+- ``ugal`` (vanilla UGAL) — minimal vs. a random-intermediate non-minimal
+  path, whichever has the smaller estimated latency;
+- ``ksp_ugal`` — minimal vs. a random *KSP* path, same comparison;
+- ``ksp_adaptive`` (the paper's proposal) — two random KSP paths, pick the
+  smaller estimate.
+
+The latency estimate is the classic UGAL product ``queue x hops``: the
+occupancy of the candidate path's first switch-to-switch channel (queued
+downstream plus in flight) times its hop count, with hop count as the
+tie-break — equivalent to Booksim's UGAL with zero bias, which is how the
+paper configures it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.core.cache import PathCache
+from repro.core.dijkstra import shortest_path
+from repro.errors import ConfigurationError
+from repro.netsim.network import NetworkWiring
+
+__all__ = [
+    "RoutingMechanism",
+    "SinglePathMechanism",
+    "RandomMechanism",
+    "RoundRobinMechanism",
+    "VanillaUgalMechanism",
+    "KspUgalMechanism",
+    "KspAdaptiveMechanism",
+    "MECHANISMS",
+    "make_mechanism",
+]
+
+Nodes = Tuple[int, ...]
+
+
+class RoutingMechanism:
+    """Base class.  Subclasses implement :meth:`choose`.
+
+    Parameters
+    ----------
+    wiring:
+        Port-level topology view (provides occupancy link ids).
+    paths:
+        The PathCache of the path-selection scheme under test.
+    occupancy:
+        A live int array indexed by directed link id, maintained by the
+        simulator: flits queued at the link's downstream buffer plus flits
+        on the wire.  Adaptive mechanisms read it; oblivious ones ignore it.
+    rng:
+        Generator for the mechanism's own random draws.
+    """
+
+    name: str = ""
+    #: true when the mechanism consults queue occupancies
+    adaptive: bool = False
+
+    def __init__(
+        self,
+        wiring: NetworkWiring,
+        paths: PathCache,
+        occupancy: np.ndarray,
+        rng: np.random.Generator,
+        estimate: str = "path",
+        channel_latency: int = 10,
+    ):
+        if estimate not in ("path", "first"):
+            raise ConfigurationError(
+                f'estimate must be "path" or "first", got {estimate!r}'
+            )
+        self.wiring = wiring
+        self.paths = paths
+        self.occupancy = occupancy
+        self.rng = rng
+        self.estimate_mode = estimate
+        self.channel_latency = channel_latency
+        # Memoised link-id tuples per path: the estimate runs per packet,
+        # so port/dict lookups must not sit on the hot path.
+        self._path_links: Dict[Nodes, Tuple[int, ...]] = {}
+
+    # -- helpers ---------------------------------------------------------
+    def _estimate(self, nodes: Nodes) -> float:
+        """Estimated packet latency of a candidate path.
+
+        ``"path"`` (default): total queued/in-flight flits along the whole
+        path plus the pipeline delay — the "estimated packet latency using
+        queue length" the paper describes, available because routes are
+        source-routed.  ``"first"``: the classic UGAL-L product
+        (first-channel occupancy x hop count), kept for the ablation
+        benchmarks.
+        """
+        hops = len(nodes) - 1
+        if hops == 0:
+            return 0.0
+        links = self._path_links.get(nodes)
+        if links is None:
+            wiring = self.wiring
+            links = tuple(
+                wiring.link_of[nodes[i]][wiring.port_of[nodes[i]][nodes[i + 1]]]
+                for i in range(hops)
+            )
+            self._path_links[nodes] = links
+        occ = self.occupancy
+        if self.estimate_mode == "first":
+            return float(occ[links[0]]) * hops
+        total = 0
+        for link in links:
+            total += occ[link]
+        return float(total) + hops * self.channel_latency
+
+    def _better(self, a: Nodes, b: Nodes) -> Nodes:
+        """The candidate with the smaller (estimate, hops); ``a`` on ties."""
+        ea, eb = self._estimate(a), self._estimate(b)
+        if (ea, len(a)) <= (eb, len(b)):
+            return a
+        return b
+
+    def choose(self, src_host: int, dst_host: int, src_sw: int, dst_sw: int) -> Nodes:
+        raise NotImplementedError
+
+    def max_route_hops(self) -> int:
+        """Upper bound on hops of any path this mechanism can emit.
+
+        The simulator sizes its hop-indexed VC range from this.  The bound
+        for KSP-restricted mechanisms is the longest cached path; the
+        default conservatively doubles the switch count for composite
+        (UGAL) routes.
+        """
+        return self.wiring.n_switches
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SinglePathMechanism(RoutingMechanism):
+    """SP: every packet follows the pair's minimal path."""
+
+    name = "sp"
+    adaptive = False
+
+    def choose(self, src_host, dst_host, src_sw, dst_sw) -> Nodes:
+        return self.paths.get(src_sw, dst_sw).minimal.nodes
+
+
+class RandomMechanism(RoutingMechanism):
+    """random: uniform over the pair's k paths, per packet."""
+
+    name = "random"
+    adaptive = False
+
+    def choose(self, src_host, dst_host, src_sw, dst_sw) -> Nodes:
+        ps = self.paths.get(src_sw, dst_sw)
+        return ps[int(self.rng.integers(ps.k))].nodes
+
+
+class RoundRobinMechanism(RoutingMechanism):
+    """round-robin: per source-destination pair, paths in rotation."""
+
+    name = "round_robin"
+    adaptive = False
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._counters: Dict[Tuple[int, int], int] = {}
+
+    def choose(self, src_host, dst_host, src_sw, dst_sw) -> Nodes:
+        ps = self.paths.get(src_sw, dst_sw)
+        key = (src_host, dst_host)
+        i = self._counters.get(key, 0)
+        self._counters[key] = i + 1
+        return ps[i % ps.k].nodes
+
+
+class VanillaUgalMechanism(RoutingMechanism):
+    """vanilla-UGAL: minimal vs. random-intermediate non-minimal path.
+
+    The non-minimal candidate concatenates two shortest paths through a
+    uniformly random intermediate switch (Valiant-style).  Candidates that
+    would revisit a switch are resampled a few times, then the minimal
+    path is used — loops would break the hop-indexed VC deadlock scheme.
+
+    Does not rely on the KSP path table: minimal paths come from a private
+    shortest-path cache, as in the paper ("does not need to use KSP").
+    """
+
+    name = "ugal"
+    adaptive = True
+    _RESAMPLE = 4
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._sp: Dict[Tuple[int, int], Nodes] = {}
+
+    def _shortest(self, a: int, b: int) -> Nodes:
+        key = (a, b)
+        found = self._sp.get(key)
+        if found is None:
+            found = tuple(
+                shortest_path(self.wiring.topology.adjacency, a, b, tie="min")
+            )
+            self._sp[key] = found
+        return found
+
+    def _nonminimal(self, src_sw: int, dst_sw: int) -> Nodes | None:
+        n = self.wiring.n_switches
+        for _ in range(self._RESAMPLE):
+            w = int(self.rng.integers(n))
+            if w == src_sw or w == dst_sw:
+                continue
+            first = self._shortest(src_sw, w)
+            second = self._shortest(w, dst_sw)
+            combined = first + second[1:]
+            if len(set(combined)) == len(combined):
+                return combined
+        return None
+
+    def choose(self, src_host, dst_host, src_sw, dst_sw) -> Nodes:
+        minimal = self._shortest(src_sw, dst_sw)
+        if src_sw == dst_sw:
+            return minimal
+        nonmin = self._nonminimal(src_sw, dst_sw)
+        if nonmin is None:
+            return minimal
+        return self._better(minimal, nonmin)
+
+    def max_route_hops(self) -> int:
+        # Two shortest paths back to back; each is at most the diameter.
+        from repro.topology.metrics import diameter
+
+        return 2 * max(1, diameter(self.wiring.topology.adjacency))
+
+
+class KspUgalMechanism(RoutingMechanism):
+    """KSP-UGAL: minimal path vs. one random non-minimal KSP path."""
+
+    name = "ksp_ugal"
+    adaptive = True
+
+    def choose(self, src_host, dst_host, src_sw, dst_sw) -> Nodes:
+        ps = self.paths.get(src_sw, dst_sw)
+        if ps.k == 1:
+            return ps.minimal.nodes
+        nonmin = ps[1 + int(self.rng.integers(ps.k - 1))]
+        return self._better(ps.minimal.nodes, nonmin.nodes)
+
+    def max_route_hops(self) -> int:
+        return _cached_max_hops(self.paths)
+
+
+class KspAdaptiveMechanism(RoutingMechanism):
+    """KSP-adaptive (the paper's proposal): best of two random KSP paths."""
+
+    name = "ksp_adaptive"
+    adaptive = True
+
+    def choose(self, src_host, dst_host, src_sw, dst_sw) -> Nodes:
+        ps = self.paths.get(src_sw, dst_sw)
+        if ps.k == 1:
+            return ps.minimal.nodes
+        i = int(self.rng.integers(ps.k))
+        j = int(self.rng.integers(ps.k - 1))
+        if j >= i:
+            j += 1
+        a, b = ps[i].nodes, ps[j].nodes
+        # Unbiased tie-break between the two random candidates: order them
+        # canonically before comparison so neither draw position wins ties.
+        if (len(a), a) > (len(b), b):
+            a, b = b, a
+        return self._better(a, b)
+
+    def max_route_hops(self) -> int:
+        return _cached_max_hops(self.paths)
+
+
+def _cached_max_hops(paths: PathCache) -> int:
+    """Longest path currently cached (simulator precomputes the table)."""
+    longest = 1
+    for ps in paths._store.values():
+        for p in ps:
+            if p.hops > longest:
+                longest = p.hops
+    return longest
+
+
+MECHANISMS: Dict[str, Callable[..., RoutingMechanism]] = {
+    cls.name: cls
+    for cls in (
+        SinglePathMechanism,
+        RandomMechanism,
+        RoundRobinMechanism,
+        VanillaUgalMechanism,
+        KspUgalMechanism,
+        KspAdaptiveMechanism,
+    )
+}
+
+
+def make_mechanism(
+    name: str,
+    wiring: NetworkWiring,
+    paths: PathCache,
+    occupancy: np.ndarray,
+    rng: np.random.Generator,
+    estimate: str = "path",
+    channel_latency: int = 10,
+) -> RoutingMechanism:
+    """Instantiate a routing mechanism by registry name."""
+    try:
+        cls = MECHANISMS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown routing mechanism {name!r}; choose from {sorted(MECHANISMS)}"
+        ) from None
+    return cls(
+        wiring, paths, occupancy, rng,
+        estimate=estimate, channel_latency=channel_latency,
+    )

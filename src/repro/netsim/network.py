@@ -1,0 +1,91 @@
+"""Static wiring of the simulated network.
+
+Precomputes everything the per-cycle hot path needs as flat lists:
+
+- per-switch port maps (output port ``p`` of switch ``s`` feeds neighbour
+  ``adjacency[s][p]``; injection/ejection ports sit after the switch
+  ports);
+- the input port a flit lands on at the next switch (``peer_port``);
+- directed link ids (shared with :class:`~repro.topology.Jellyfish`) for
+  the adaptive mechanisms' occupancy estimates;
+- conversion of a switch path + destination host into an output-port route.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.path import Path
+from repro.errors import SimulationError
+from repro.topology.jellyfish import Jellyfish
+
+__all__ = ["NetworkWiring"]
+
+
+class NetworkWiring:
+    """Immutable port-level view of a Jellyfish for the simulator."""
+
+    def __init__(self, topology: Jellyfish):
+        self.topology = topology
+        n = topology.n_switches
+        y = topology.uplinks
+        self.n_switches = n
+        self.n_switch_ports = y
+        self.hosts_per_switch = topology.hosts_per_switch
+        # Ports 0..y-1: switch links in adjacency order.
+        # Ports y..y+h-1: host links (injection inputs / ejection outputs).
+        self.n_ports = y + topology.hosts_per_switch
+
+        # port_of[s][t] = output port of s that reaches neighbour t.
+        self.port_of: List[Dict[int, int]] = [
+            {t: p for p, t in enumerate(topology.adjacency[s])} for s in range(n)
+        ]
+        # peer_port[s][p] = input-port index at the far end of (s, port p).
+        self.peer_port: List[List[int]] = [
+            [self.port_of[t][s] for t in topology.adjacency[s]] for s in range(n)
+        ]
+        # link_of[s][p] = directed link id of output port p of switch s.
+        self.link_of: List[List[int]] = [
+            [topology.link_id(s, t) for t in topology.adjacency[s]]
+            for s in range(n)
+        ]
+
+    # ------------------------------------------------------------- routes
+    def ejection_port(self, dst_host: int) -> int:
+        """Output-port index of the destination host at its switch."""
+        topo = self.topology
+        return self.n_switch_ports + (dst_host % topo.hosts_per_switch)
+
+    def injection_port(self, src_host: int) -> int:
+        """Input-port index of the source host at its switch."""
+        return self.n_switch_ports + (src_host % self.topology.hosts_per_switch)
+
+    def route_ports(self, path: Path | Sequence[int], dst_host: int) -> Tuple[int, ...]:
+        """Output-port route for a switch path ending at ``dst_host``.
+
+        Entry ``i`` is the output port taken at the ``i``-th switch of the
+        path; the last entry ejects to the host.
+        """
+        nodes = path.nodes if isinstance(path, Path) else tuple(path)
+        if self.topology.switch_of_host(dst_host) != nodes[-1]:
+            raise SimulationError(
+                f"path ends at switch {nodes[-1]} but host {dst_host} is on "
+                f"switch {self.topology.switch_of_host(dst_host)}"
+            )
+        ports = []
+        for i in range(len(nodes) - 1):
+            try:
+                ports.append(self.port_of[nodes[i]][nodes[i + 1]])
+            except KeyError:
+                raise SimulationError(
+                    f"path step {nodes[i]}->{nodes[i + 1]} is not a link"
+                ) from None
+        ports.append(self.ejection_port(dst_host))
+        return tuple(ports)
+
+    def first_link(self, path: Path | Sequence[int]) -> int:
+        """Directed link id of a path's first switch hop (-1 if none)."""
+        nodes = path.nodes if isinstance(path, Path) else tuple(path)
+        if len(nodes) < 2:
+            return -1
+        return self.link_of[nodes[0]][self.port_of[nodes[0]][nodes[1]]]

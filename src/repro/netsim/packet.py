@@ -1,0 +1,76 @@
+"""Packet records for the flit-level simulator.
+
+The paper simulates single-flit packets, so a packet and a flit coincide;
+one mutable record carries the source-routed path and the bookkeeping the
+router pipeline needs.  ``route`` is resolved to output-port indices at
+injection time so the per-cycle hot path never does neighbour lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["Packet"]
+
+
+class Packet:
+    """A single-flit packet.
+
+    Attributes
+    ----------
+    src, dst:
+        Host ids.
+    switches:
+        The switch path, source switch first.
+    route:
+        Output-port index to take at each switch along ``switches``; the
+        final entry is the ejection port at the destination switch.
+    hop:
+        Index into ``route`` — which switch the packet currently sits at
+        (also its VC index at that switch's input buffer).
+    t_create:
+        Cycle the packet was created (source-queue entry).
+    t_deliver:
+        Cycle the packet reached its destination host (-1 while in flight).
+    """
+
+    __slots__ = (
+        "src", "dst", "switches", "route", "hop", "t_create", "t_deliver",
+        "in_link",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        switches: Tuple[int, ...],
+        route: Tuple[int, ...],
+        t_create: int,
+    ):
+        self.src = src
+        self.dst = dst
+        self.switches = switches
+        self.route = route
+        self.hop = 0
+        self.t_create = t_create
+        self.t_deliver = -1
+        # Directed link id the packet most recently travelled (-1 when it
+        # arrived from its host); lets the simulator decrement the link's
+        # occupancy when the packet leaves the downstream buffer.
+        self.in_link = -1
+
+    @property
+    def hops(self) -> int:
+        """Switch-to-switch hop count of the path."""
+        return len(self.switches) - 1
+
+    @property
+    def latency(self) -> int:
+        """Creation-to-delivery cycles (valid once delivered)."""
+        return self.t_deliver - self.t_create
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet({self.src}->{self.dst} via {self.switches}, "
+            f"hop={self.hop}, t={self.t_create})"
+        )

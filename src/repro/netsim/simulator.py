@@ -1,0 +1,450 @@
+"""The cycle-driven flit-level simulator.
+
+One :class:`Simulator` instance runs one traffic condition at one injection
+rate and reports the paper's Booksim statistics: per-sample average packet
+latency, accepted throughput, and the saturation flag.
+
+Router model (single-flit packets):
+
+- every switch input port has one FIFO per virtual channel; a packet at
+  switch-hop ``h`` occupies VC ``h``, so channel dependencies only ever
+  climb the VC ladder and the network is deadlock-free for any loop-free
+  source route (the paper's "increase the VC every hop" scheme);
+- credit-based flow control: a flit leaves a router only when the
+  downstream ``(input port, VC)`` buffer is guaranteed to have a slot by
+  the time it lands;
+- each output port launches at most one flit per cycle onto its channel
+  (links run at line rate) while each input port may forward up to
+  ``input_speedup`` flits per cycle — the speedup-2 crossbar of the paper's
+  configuration;
+- output arbitration is separable round-robin, rotating per output port;
+- channels are ideal pipelines of ``channel_latency`` cycles, including
+  host injection/ejection links;
+- hosts have unbounded source queues (latency counts from source-queue
+  entry, so saturated runs show the expected latency blow-up).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cache import PathCache
+from repro.errors import ConfigurationError, SimulationError, TrafficError
+from repro.netsim.config import SimConfig
+from repro.netsim.mechanisms import RoutingMechanism, make_mechanism
+from repro.netsim.network import NetworkWiring
+from repro.netsim.packet import Packet
+from repro.topology.jellyfish import Jellyfish
+from repro.traffic.patterns import Pattern
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["UniformTraffic", "PatternTraffic", "SimResult", "Simulator"]
+
+
+class UniformTraffic:
+    """Uniform-random traffic: each packet draws a fresh destination."""
+
+    def __init__(self, n_hosts: int):
+        if n_hosts < 2:
+            raise TrafficError("uniform traffic needs at least 2 hosts")
+        self.n_hosts = n_hosts
+
+    def sources(self) -> np.ndarray:
+        return np.arange(self.n_hosts, dtype=np.int64)
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        d = int(rng.integers(self.n_hosts - 1))
+        return d if d < src else d + 1
+
+    def switch_pairs(self, topology: Jellyfish) -> List[Tuple[int, int]]:
+        n = topology.n_switches
+        return [(s, d) for s in range(n) for d in range(n) if s != d]
+
+
+class PatternTraffic:
+    """Static-pattern traffic: each source's destinations are fixed.
+
+    Sources with several flows (e.g. Random(X)) pick uniformly among their
+    destinations per packet; hosts without flows do not inject.
+    """
+
+    def __init__(self, pattern: Pattern):
+        self.pattern = pattern
+        self._dests: Dict[int, List[int]] = {}
+        for s, d in pattern.flows:
+            self._dests.setdefault(s, []).append(d)
+        if not self._dests:
+            raise TrafficError("pattern has no flows")
+
+    def sources(self) -> np.ndarray:
+        return np.asarray(sorted(self._dests), dtype=np.int64)
+
+    def dest(self, src: int, rng: np.random.Generator) -> int:
+        dests = self._dests[src]
+        if len(dests) == 1:
+            return dests[0]
+        return dests[int(rng.integers(len(dests)))]
+
+    def switch_pairs(self, topology: Jellyfish) -> List[Tuple[int, int]]:
+        pairs = {
+            (topology.switch_of_host(s), topology.switch_of_host(d))
+            for s, d in self.pattern.flows
+        }
+        return sorted(pairs)
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Statistics of one simulation run.
+
+    ``sample_latencies`` holds the per-sample mean packet latencies the
+    saturation test inspects; a ``nan`` entry means the sample delivered
+    nothing (a fully jammed network, also treated as saturated).
+    """
+
+    injection_rate: float
+    injected: int
+    delivered: int
+    measured_delivered: int
+    mean_latency: float
+    sample_latencies: Tuple[float, ...]
+    saturated: bool
+    accepted_throughput: float
+    n_active_hosts: int
+    latency_p50: float
+    latency_p99: float
+    max_link_utilisation: float
+    mean_link_utilisation: float
+    config: SimConfig = field(repr=False)
+
+    def offered_load(self) -> float:
+        """The injection rate (flits/node/cycle) this run offered."""
+        return self.injection_rate
+
+
+class Simulator:
+    """One flit-level run.
+
+    Parameters
+    ----------
+    topology:
+        The Jellyfish under test.
+    paths:
+        PathCache of the path-selection scheme (shared across runs to
+        amortise Yen's algorithm).
+    mechanism:
+        Routing-mechanism registry name (see
+        :data:`repro.netsim.mechanisms.MECHANISMS`).
+    traffic:
+        :class:`UniformTraffic` or :class:`PatternTraffic`.
+    injection_rate:
+        Bernoulli flit-injection probability per host per cycle.
+    config / seed:
+        Simulator parameters and the run's random stream.
+    """
+
+    def __init__(
+        self,
+        topology: Jellyfish,
+        paths: PathCache,
+        mechanism: str,
+        traffic: UniformTraffic | PatternTraffic,
+        injection_rate: float,
+        config: SimConfig = SimConfig(),
+        seed: SeedLike = 0,
+    ):
+        if not (0.0 < injection_rate <= 1.0):
+            raise ConfigurationError(
+                f"injection_rate must be in (0, 1], got {injection_rate}"
+            )
+        self.topology = topology
+        self.config = config
+        self.rate = float(injection_rate)
+        self.traffic = traffic
+        self.rng = ensure_rng(seed)
+        self.wiring = NetworkWiring(topology)
+
+        # Warm the path cache for every switch pair the traffic can use, so
+        # the per-cycle hot path never runs Yen's algorithm.
+        paths.precompute(traffic.switch_pairs(topology))
+        self.paths = paths
+
+        self.occupancy = np.zeros(topology.n_links, dtype=np.int64)
+        self.mechanism: RoutingMechanism = make_mechanism(
+            mechanism,
+            self.wiring,
+            paths,
+            self.occupancy,
+            self.rng,
+            estimate=config.adaptive_estimate,
+            channel_latency=config.channel_latency,
+        )
+
+        longest = 1
+        for ps in paths._store.values():
+            for p in ps:
+                longest = max(longest, p.hops)
+        self.n_vcs = max(longest, self.mechanism.max_route_hops()) + 1
+
+        n_sw = topology.n_switches
+        self.n_ports = self.wiring.n_ports
+        self._stride_port = self.n_vcs
+        self._stride_switch = self.n_ports * self.n_vcs
+        n_bufs = n_sw * self._stride_switch
+        self.in_q: List[deque] = [deque() for _ in range(n_bufs)]
+        self.free: List[int] = [config.vc_buffer] * n_bufs
+        self.nonempty: List[set] = [set() for _ in range(n_sw)]
+        self.rr_ptr: List[int] = [0] * (n_sw * self.n_ports)
+
+        self.source_q: Dict[int, deque] = {}
+        self.active_hosts = traffic.sources()
+        self._switch_of_host = np.asarray(
+            [topology.switch_of_host(int(h)) for h in range(topology.n_hosts)],
+            dtype=np.int64,
+        )
+
+        self._arrivals: list = []  # heap of (time, seq, flat_idx|-1, packet)
+        self._seq = 0
+        # Route-port tuples are pure functions of (path nodes, dst host);
+        # memoise them so source launch never re-walks port maps.
+        self._route_cache: Dict[Tuple[Tuple[int, ...], int], Tuple[int, ...]] = {}
+
+        # statistics
+        self.injected = 0
+        self.delivered = 0
+        self._measure_start = config.warmup_cycles
+        self._sample_sums = [0.0] * config.n_samples
+        self._sample_counts = [0] * config.n_samples
+        self._latencies: List[int] = []
+        # Flits launched onto each switch link during the measurement
+        # window (link-utilisation statistics).
+        self._link_flits = np.zeros(topology.n_switch_links, dtype=np.int64)
+
+    # ----------------------------------------------------------- plumbing
+    def _buf_idx(self, switch: int, port: int, vc: int) -> int:
+        return switch * self._stride_switch + port * self._stride_port + vc
+
+    def _push_arrival(self, time: int, flat_idx: int, packet: Packet) -> None:
+        self._seq += 1
+        heapq.heappush(self._arrivals, (time, self._seq, flat_idx, packet))
+
+    # ------------------------------------------------------------- phases
+    def _process_arrivals(self, now: int) -> None:
+        heap = self._arrivals
+        cfg = self.config
+        while heap and heap[0][0] <= now:
+            _, _, flat_idx, packet = heapq.heappop(heap)
+            if flat_idx < 0:
+                # Ejection: the packet reached its host.
+                packet.t_deliver = now
+                self.delivered += 1
+                t = now - self._measure_start
+                if 0 <= t < cfg.measure_cycles:
+                    s = t // cfg.sample_cycles
+                    self._sample_sums[s] += packet.latency
+                    self._sample_counts[s] += 1
+                    self._latencies.append(packet.latency)
+            else:
+                self.in_q[flat_idx].append(packet)
+                switch = flat_idx // self._stride_switch
+                self.nonempty[switch].add(flat_idx)
+
+    def _inject(self, now: int) -> None:
+        hosts = self.active_hosts
+        draws = self.rng.random(len(hosts)) < self.rate
+        if draws.any():
+            for h in hosts[draws]:
+                h = int(h)
+                q = self.source_q.get(h)
+                if q is None:
+                    q = deque()
+                    self.source_q[h] = q
+                q.append((now, self.traffic.dest(h, self.rng)))
+                self.injected += 1
+
+    def _launch_from_sources(self, now: int) -> None:
+        cfg = self.config
+        wiring = self.wiring
+        for h, q in self.source_q.items():
+            if not q:
+                continue
+            sw = int(self._switch_of_host[h])
+            inj_port = wiring.injection_port(h)
+            idx = self._buf_idx(sw, inj_port, 0)
+            if self.free[idx] <= 0:
+                continue
+            t_create, dst = q.popleft()
+            dst_sw = int(self._switch_of_host[dst])
+            nodes = tuple(self.mechanism.choose(h, dst, sw, dst_sw))
+            route = self._route_cache.get((nodes, dst))
+            if route is None:
+                route = wiring.route_ports(nodes, dst)
+                self._route_cache[(nodes, dst)] = route
+            packet = Packet(h, dst, nodes, route, t_create)
+            self.free[idx] -= 1
+            self._push_arrival(now + cfg.channel_latency, idx, packet)
+
+    def _allocate(self, now: int) -> None:
+        cfg = self.config
+        wiring = self.wiring
+        n_vcs = self.n_vcs
+        eject_base = wiring.n_switch_ports
+        for switch in range(self.topology.n_switches):
+            active = self.nonempty[switch]
+            if not active:
+                continue
+            # Gather head-of-line requests per output port, skipping flits
+            # whose downstream buffer has no credit.
+            requests: Dict[int, List[int]] = {}
+            for flat_idx in active:
+                packet: Packet = self.in_q[flat_idx][0]
+                out_port = packet.route[packet.hop]
+                if out_port < eject_base:
+                    nxt = self.topology.adjacency[switch][out_port]
+                    nxt_idx = self._buf_idx(
+                        nxt, wiring.peer_port[switch][out_port], packet.hop + 1
+                    )
+                    if self.free[nxt_idx] <= 0:
+                        continue
+                requests.setdefault(out_port, []).append(flat_idx)
+
+            if not requests:
+                continue
+            granted_per_input: Dict[int, int] = {}
+            speedup = cfg.input_speedup
+            for out_port, cands in requests.items():
+                # Rotating-priority (round-robin) arbitration per output.
+                rr_key = switch * self.n_ports + out_port
+                ptr = self.rr_ptr[rr_key]
+                modulus = self._stride_switch
+                cands.sort(key=lambda fi: (fi - ptr) % modulus)
+                winner = None
+                for fi in cands:
+                    in_port = (fi % self._stride_switch) // n_vcs
+                    if granted_per_input.get(in_port, 0) >= speedup:
+                        continue
+                    winner = fi
+                    break
+                if winner is None:
+                    continue
+                in_port = (winner % self._stride_switch) // n_vcs
+                granted_per_input[in_port] = granted_per_input.get(in_port, 0) + 1
+                self.rr_ptr[rr_key] = (winner % self._stride_switch) + 1
+
+                q = self.in_q[winner]
+                packet = q.popleft()
+                if not q:
+                    active.discard(winner)
+                self.free[winner] += 1
+                if packet.in_link >= 0:
+                    self.occupancy[packet.in_link] -= 1
+                    packet.in_link = -1
+
+                if out_port >= eject_base:
+                    self._push_arrival(now + cfg.channel_latency, -1, packet)
+                else:
+                    nxt = self.topology.adjacency[switch][out_port]
+                    nxt_idx = self._buf_idx(
+                        nxt, wiring.peer_port[switch][out_port], packet.hop + 1
+                    )
+                    link = wiring.link_of[switch][out_port]
+                    self.free[nxt_idx] -= 1
+                    self.occupancy[link] += 1
+                    if now >= self._measure_start:
+                        self._link_flits[link] += 1
+                    packet.in_link = link
+                    packet.hop += 1
+                    self._push_arrival(now + cfg.channel_latency, nxt_idx, packet)
+
+    # ---------------------------------------------------------------- run
+    def run(self) -> SimResult:
+        """Simulate warmup + measurement and return the run statistics."""
+        cfg = self.config
+        for now in range(cfg.total_cycles):
+            self._process_arrivals(now)
+            self._inject(now)
+            self._launch_from_sources(now)
+            self._allocate(now)
+
+        samples = tuple(
+            (self._sample_sums[i] / self._sample_counts[i])
+            if self._sample_counts[i]
+            else float("nan")
+            for i in range(cfg.n_samples)
+        )
+        measured = sum(self._sample_counts)
+        saturated = any(
+            (s != s) or s > cfg.saturation_latency for s in samples
+        )
+        mean_latency = (
+            sum(self._sample_sums) / measured if measured else float("nan")
+        )
+        if self._latencies:
+            lat = np.asarray(self._latencies)
+            p50 = float(np.percentile(lat, 50))
+            p99 = float(np.percentile(lat, 99))
+        else:
+            p50 = p99 = float("nan")
+        util = self._link_flits / cfg.measure_cycles
+        active = max(1, len(self.active_hosts))
+        return SimResult(
+            injection_rate=self.rate,
+            injected=self.injected,
+            delivered=self.delivered,
+            measured_delivered=measured,
+            mean_latency=mean_latency,
+            sample_latencies=samples,
+            saturated=saturated,
+            accepted_throughput=measured / (active * cfg.measure_cycles),
+            n_active_hosts=len(self.active_hosts),
+            latency_p50=p50,
+            latency_p99=p99,
+            max_link_utilisation=float(util.max()) if util.size else 0.0,
+            mean_link_utilisation=float(util.mean()) if util.size else 0.0,
+            config=cfg,
+        )
+
+    def drain(self) -> int:
+        """Stop injecting and run until every packet is delivered.
+
+        Returns the number of extra cycles spent.  Raises
+        :class:`SimulationError` if the network fails to empty within
+        ``config.drain_max_cycles`` — with loop-free source routes and
+        hop-indexed VCs that would indicate a deadlock, so this doubles as
+        a deadlock-freedom check in tests.
+        """
+        cfg = self.config
+        start = cfg.total_cycles
+        for now in range(start, start + cfg.drain_max_cycles):
+            if self.in_flight() == 0:
+                return now - start
+            self._process_arrivals(now)
+            self._launch_from_sources(now)
+            self._allocate(now)
+        if self.in_flight() != 0:
+            raise SimulationError(
+                f"network failed to drain within {cfg.drain_max_cycles} cycles: "
+                f"{self.in_flight()} packets stuck"
+            )
+        return cfg.drain_max_cycles
+
+    # ------------------------------------------------------- diagnostics
+    def in_flight(self) -> int:
+        """Packets inside the network or its queues (conservation checks)."""
+        queued = sum(len(q) for q in self.in_q)
+        flying = len(self._arrivals)
+        sourced = sum(len(q) for q in self.source_q.values())
+        return queued + flying + sourced
+
+    def check_conservation(self) -> None:
+        """Raise if injected != delivered + in-flight (a lost/dup packet)."""
+        if self.injected != self.delivered + self.in_flight():
+            raise SimulationError(
+                f"conservation violated: injected={self.injected}, "
+                f"delivered={self.delivered}, in_flight={self.in_flight()}"
+            )

@@ -1,0 +1,11 @@
+"""Result reporting: dependency-free ASCII charts and JSON/CSV export.
+
+The experiment drivers print paper-shaped tables; this package adds the
+figure-shaped views (latency-load curves, throughput bars) as terminal
+charts, plus machine-readable exports for downstream analysis.
+"""
+
+from repro.report.ascii import bar_chart, line_chart
+from repro.report.export import result_to_csv, result_to_json, save_result
+
+__all__ = ["bar_chart", "line_chart", "result_to_csv", "result_to_json", "save_result"]

@@ -1,0 +1,92 @@
+"""Terminal charts without plotting dependencies.
+
+Two chart kinds cover the paper's figures: :func:`line_chart` for the
+latency-versus-load curves (Figures 11-13) and :func:`bar_chart` for the
+throughput comparisons (Figures 4-10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["line_chart", "bar_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more (x, y) series on a character grid.
+
+    Each series gets a marker from ``o x + * ...``; the legend maps markers
+    back to labels.  Points outside a degenerate range collapse gracefully
+    (a single point renders mid-axis).
+    """
+    if not series:
+        raise ConfigurationError("line_chart needs at least one series")
+    if width < 8 or height < 4:
+        raise ConfigurationError("chart too small to render")
+    pts = [(x, y) for s in series.values() for x, y in s]
+    if not pts:
+        raise ConfigurationError("all series are empty")
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, points), marker in zip(series.items(), _MARKERS):
+        for x, y in points:
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top {y_max:.4g}, bottom {y_min:.4g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:.4g} .. {x_max:.4g}")
+    legend = "  ".join(
+        f"{marker}={label}" for (label, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(" legend: " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 40,
+    title: str = "",
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render labelled horizontal bars scaled to the maximum value."""
+    if not values:
+        raise ConfigurationError("bar_chart needs at least one value")
+    if width < 4:
+        raise ConfigurationError("chart too small to render")
+    top = max(values.values())
+    if top < 0:
+        raise ConfigurationError("bar_chart needs non-negative values")
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, v in values.items():
+        if v < 0:
+            raise ConfigurationError("bar_chart needs non-negative values")
+        n = int(round(v / top * width)) if top > 0 else 0
+        lines.append(f"{label.ljust(label_w)} | {'█' * n}{' ' * (width - n)} {fmt.format(v)}")
+    return "\n".join(lines)

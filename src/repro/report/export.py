@@ -1,0 +1,67 @@
+"""Machine-readable export of experiment results (JSON / CSV)."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["result_to_json", "result_to_csv", "save_result"]
+
+
+def _jsonable(value: Any):
+    """Recursively coerce result payloads (numpy scalars, tuples) to JSON."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "tolist"):  # numpy array or scalar
+        return value.tolist()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def result_to_json(result: ExperimentResult, indent: int = 2) -> str:
+    """Serialise a full ExperimentResult (table + raw data) to JSON."""
+    payload = {
+        "experiment": result.experiment,
+        "title": result.title,
+        "scale": result.scale,
+        "notes": result.notes,
+        "headers": list(result.headers),
+        "rows": _jsonable(result.rows),
+        "data": _jsonable(result.data),
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def result_to_csv(result: ExperimentResult) -> str:
+    """Serialise the result's table (headers + rows) to CSV."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def save_result(result: ExperimentResult, path: str | Path) -> Path:
+    """Write a result to ``path``; format chosen by suffix (.json/.csv/.txt)."""
+    path = Path(path)
+    if path.suffix == ".json":
+        path.write_text(result_to_json(result))
+    elif path.suffix == ".csv":
+        path.write_text(result_to_csv(result))
+    elif path.suffix == ".txt":
+        path.write_text(result.to_text() + "\n")
+    else:
+        raise ConfigurationError(
+            f"unsupported export suffix {path.suffix!r}; use .json, .csv or .txt"
+        )
+    return path

@@ -1,0 +1,39 @@
+"""Jellyfish (random regular graph) topology substrate.
+
+The paper's switch-level topology is an ``RRG(N, x, y)``: ``N`` switches,
+each with ``x`` ports of which ``y`` connect to other switches and ``x - y``
+connect to compute nodes.  This package builds such topologies from scratch
+(using the incremental construction from the Jellyfish paper), wraps them
+with host bookkeeping, and computes the topological metrics reported in
+Table I.
+"""
+
+from repro.topology.rrg import random_regular_graph, is_regular, is_connected
+from repro.topology.jellyfish import Jellyfish
+from repro.topology.metrics import (
+    average_shortest_path_length,
+    diameter,
+    shortest_path_length_histogram,
+    bisection_links,
+)
+from repro.topology.serialization import (
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+__all__ = [
+    "random_regular_graph",
+    "is_regular",
+    "is_connected",
+    "Jellyfish",
+    "average_shortest_path_length",
+    "diameter",
+    "shortest_path_length_histogram",
+    "bisection_links",
+    "save_topology",
+    "load_topology",
+    "topology_to_dict",
+    "topology_from_dict",
+]

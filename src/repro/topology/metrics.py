@@ -1,0 +1,128 @@
+"""Topological metrics for Jellyfish instances (Table I support).
+
+All metrics operate on adjacency lists (``adj[u]`` = neighbours of ``u``)
+and use plain BFS, which is exact for the unweighted switch graph.  For
+large topologies the all-pairs metrics accept a ``sample`` bound so the
+paper-scale RRG(2880, 48, 38) can be characterised in seconds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = [
+    "bfs_distances",
+    "average_shortest_path_length",
+    "diameter",
+    "shortest_path_length_histogram",
+    "bisection_links",
+]
+
+
+def bfs_distances(adj: Sequence[Sequence[int]], source: int) -> np.ndarray:
+    """Hop distances from ``source`` to every node (-1 if unreachable)."""
+    n = len(adj)
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u] + 1
+        for v in adj[u]:
+            if dist[v] < 0:
+                dist[v] = du
+                queue.append(v)
+    return dist
+
+
+def _sources(n: int, sample: int | None, seed: SeedLike) -> List[int]:
+    if sample is None or sample >= n:
+        return list(range(n))
+    rng = ensure_rng(seed)
+    return sorted(int(s) for s in rng.choice(n, size=sample, replace=False))
+
+
+def average_shortest_path_length(
+    adj: Sequence[Sequence[int]],
+    sample: int | None = None,
+    seed: SeedLike = None,
+) -> float:
+    """Mean hop distance over ordered switch pairs (the Table I metric).
+
+    With ``sample`` set, averages over BFS trees from that many random
+    sources — an unbiased estimate whose error shrinks as 1/sqrt(sample).
+    """
+    n = len(adj)
+    if n < 2:
+        return 0.0
+    total = 0
+    count = 0
+    for s in _sources(n, sample, seed):
+        dist = bfs_distances(adj, s)
+        reach = dist[dist > 0]
+        total += int(reach.sum())
+        count += reach.size
+    return total / count if count else float("inf")
+
+
+def diameter(
+    adj: Sequence[Sequence[int]],
+    sample: int | None = None,
+    seed: SeedLike = None,
+) -> int:
+    """Maximum hop distance (over sampled sources if ``sample`` is set)."""
+    best = 0
+    for s in _sources(len(adj), sample, seed):
+        dist = bfs_distances(adj, s)
+        if (dist < 0).any():
+            return -1  # disconnected
+        best = max(best, int(dist.max()))
+    return best
+
+
+def shortest_path_length_histogram(
+    adj: Sequence[Sequence[int]],
+    sample: int | None = None,
+    seed: SeedLike = None,
+) -> Dict[int, int]:
+    """Histogram {hops: ordered-pair count} of shortest path lengths."""
+    hist: Dict[int, int] = {}
+    for s in _sources(len(adj), sample, seed):
+        dist = bfs_distances(adj, s)
+        lengths, counts = np.unique(dist[dist > 0], return_counts=True)
+        for length, c in zip(lengths.tolist(), counts.tolist()):
+            hist[length] = hist.get(length, 0) + c
+    return hist
+
+
+def bisection_links(
+    adj: Sequence[Sequence[int]],
+    trials: int = 16,
+    seed: SeedLike = None,
+) -> int:
+    """Estimated bisection width: min cut links over random equal splits.
+
+    Random regular graphs are good expanders, so random balanced bisections
+    are close to the true bisection width; this gives the quick capacity
+    check used when sizing experiments (not a paper table).
+    """
+    n = len(adj)
+    if n < 2:
+        return 0
+    rng = ensure_rng(seed)
+    best = None
+    nodes = np.arange(n)
+    for _ in range(trials):
+        perm = rng.permutation(nodes)
+        side = np.zeros(n, dtype=bool)
+        side[perm[: n // 2]] = True
+        cut = sum(
+            1 for u in range(n) for v in adj[u] if u < v and side[u] != side[v]
+        )
+        best = cut if best is None else min(best, cut)
+    return int(best)

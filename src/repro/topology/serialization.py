@@ -1,0 +1,62 @@
+"""Saving and loading Jellyfish instances.
+
+Experiments at paper scale take minutes to construct the RRG (and the
+instance matters for reproducibility reports), so topologies can be
+round-tripped through a JSON document carrying the ``RRG(N, x, y)``
+parameters and the exact adjacency.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.errors import TopologyError
+from repro.topology.jellyfish import Jellyfish
+
+__all__ = ["topology_to_dict", "topology_from_dict", "save_topology", "load_topology"]
+
+_FORMAT = "repro-jellyfish-v1"
+
+
+def topology_to_dict(topology: Jellyfish) -> Dict[str, Any]:
+    """A JSON-ready description of the instance (parameters + adjacency)."""
+    return {
+        "format": _FORMAT,
+        "n_switches": topology.n_switches,
+        "ports": topology.ports,
+        "uplinks": topology.uplinks,
+        "adjacency": [list(nbrs) for nbrs in topology.adjacency],
+    }
+
+
+def topology_from_dict(doc: Dict[str, Any]) -> Jellyfish:
+    """Rebuild a Jellyfish from :func:`topology_to_dict` output.
+
+    The constructor re-validates regularity/symmetry, so a corrupted
+    document fails loudly rather than producing a broken instance.
+    """
+    if doc.get("format") != _FORMAT:
+        raise TopologyError(
+            f"unrecognised topology document format {doc.get('format')!r}"
+        )
+    try:
+        return Jellyfish(
+            doc["n_switches"], doc["ports"], doc["uplinks"],
+            adjacency=doc["adjacency"],
+        )
+    except KeyError as missing:
+        raise TopologyError(f"topology document missing field {missing}") from None
+
+
+def save_topology(topology: Jellyfish, path: str | Path) -> Path:
+    """Write the instance to ``path`` as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(topology_to_dict(topology)))
+    return path
+
+
+def load_topology(path: str | Path) -> Jellyfish:
+    """Read an instance previously written by :func:`save_topology`."""
+    return topology_from_dict(json.loads(Path(path).read_text()))

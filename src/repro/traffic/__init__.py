@@ -1,0 +1,50 @@
+"""Traffic patterns, stencil workloads, and process-to-node mappings.
+
+The evaluation uses two kinds of workload:
+
+- *synthetic patterns* over compute nodes (hosts): random permutation,
+  shift-N, Random(X), all-to-all, and uniform-random
+  (:mod:`repro.traffic.patterns`);
+- *application workloads*: 2D/3D nearest-neighbour stencil exchanges with
+  and without diagonals, generated as (src rank, dst rank, bytes) message
+  lists (:mod:`repro.traffic.stencil`) and placed on hosts through a linear
+  or random rank mapping (:mod:`repro.traffic.mapping`).
+"""
+
+from repro.traffic.patterns import (
+    Pattern,
+    all_to_all,
+    random_destinations,
+    random_permutation,
+    random_shift,
+    shift,
+)
+from repro.traffic.stencil import (
+    STENCILS,
+    grid_dims,
+    stencil_messages,
+)
+from repro.traffic.mapping import linear_mapping, random_mapping, apply_mapping
+from repro.traffic.demand import (
+    pattern_locality,
+    switch_demand_matrix,
+    switch_pair_flows,
+)
+
+__all__ = [
+    "pattern_locality",
+    "switch_demand_matrix",
+    "switch_pair_flows",
+    "Pattern",
+    "random_permutation",
+    "shift",
+    "random_shift",
+    "random_destinations",
+    "all_to_all",
+    "STENCILS",
+    "grid_dims",
+    "stencil_messages",
+    "linear_mapping",
+    "random_mapping",
+    "apply_mapping",
+]

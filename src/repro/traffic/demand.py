@@ -1,0 +1,63 @@
+"""Demand-matrix helpers: host flows viewed at the switch level.
+
+Several analyses (and the adaptive-routing discussion in the paper) reason
+about *switch-pair* demand rather than individual host flows.  These
+helpers aggregate host-level flows into switch-level demand matrices and
+quantify a pattern's locality — the fraction of traffic that never leaves
+its source switch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.errors import TrafficError
+from repro.topology.jellyfish import Jellyfish
+
+__all__ = ["switch_demand_matrix", "pattern_locality", "switch_pair_flows"]
+
+
+def switch_demand_matrix(
+    topology: Jellyfish,
+    flows: Iterable[Tuple[int, int]],
+) -> np.ndarray:
+    """``D[s, t]`` = number of host flows from switch ``s`` to switch ``t``.
+
+    Intra-switch flows land on the diagonal.
+    """
+    n = topology.n_switches
+    demand = np.zeros((n, n), dtype=np.int64)
+    count = 0
+    for src, dst in flows:
+        demand[topology.switch_of_host(src), topology.switch_of_host(dst)] += 1
+        count += 1
+    if count == 0:
+        raise TrafficError("flow set is empty")
+    return demand
+
+
+def pattern_locality(topology: Jellyfish, flows: Iterable[Tuple[int, int]]) -> float:
+    """Fraction of flows whose endpoints share a switch (no network hops)."""
+    demand = switch_demand_matrix(topology, flows)
+    return float(np.trace(demand) / demand.sum())
+
+
+def switch_pair_flows(
+    topology: Jellyfish,
+    flows: Iterable[Tuple[int, int]],
+    include_local: bool = False,
+) -> list[Tuple[int, int]]:
+    """Distinct (source switch, destination switch) pairs with demand.
+
+    The list is what a path cache must be warmed with; ``include_local``
+    keeps intra-switch pairs (which need only the trivial path).
+    """
+    pairs = set()
+    for src, dst in flows:
+        s = topology.switch_of_host(src)
+        t = topology.switch_of_host(dst)
+        if s != t or include_local:
+            pairs.add((s, t))
+    return sorted(pairs)

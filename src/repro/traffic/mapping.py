@@ -1,0 +1,52 @@
+"""Process-to-node (rank -> host) mappings.
+
+The paper simulates two placements of application ranks onto compute nodes:
+*linear* (rank ``r`` on host ``r``) and *random* (a random bijection).  A
+mapping is a numpy array ``m`` with ``m[rank] = host``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["linear_mapping", "random_mapping", "apply_mapping"]
+
+
+def linear_mapping(n_ranks: int, n_hosts: int) -> np.ndarray:
+    """Rank ``r`` runs on host ``r`` (requires ``n_ranks <= n_hosts``)."""
+    if n_ranks > n_hosts:
+        raise MappingError(
+            f"cannot place {n_ranks} ranks on {n_hosts} hosts"
+        )
+    return np.arange(n_ranks, dtype=np.int64)
+
+
+def random_mapping(n_ranks: int, n_hosts: int, seed: SeedLike = None) -> np.ndarray:
+    """A uniform random injective rank -> host placement."""
+    if n_ranks > n_hosts:
+        raise MappingError(
+            f"cannot place {n_ranks} ranks on {n_hosts} hosts"
+        )
+    rng = ensure_rng(seed)
+    return rng.permutation(n_hosts)[:n_ranks].astype(np.int64)
+
+
+def apply_mapping(
+    messages: Sequence[Tuple[int, int, float]],
+    mapping: np.ndarray,
+) -> List[Tuple[int, int, float]]:
+    """Translate rank-level messages to host-level via ``mapping``."""
+    n_ranks = len(mapping)
+    out: List[Tuple[int, int, float]] = []
+    for src, dst, nbytes in messages:
+        if not (0 <= src < n_ranks and 0 <= dst < n_ranks):
+            raise MappingError(
+                f"message ({src}->{dst}) references rank outside [0, {n_ranks})"
+            )
+        out.append((int(mapping[src]), int(mapping[dst]), nbytes))
+    return out

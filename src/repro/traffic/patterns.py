@@ -1,0 +1,137 @@
+"""Synthetic traffic patterns over compute nodes.
+
+A static pattern is a :class:`Pattern`: a named tuple-of-flows where each
+flow is an ordered ``(source host, destination host)`` pair.  The patterns
+match Section IV-A of the paper:
+
+- *random permutation* — each node talks to at most one node (a permutation
+  with fixed points removed by swapping);
+- *shift-N* — node ``i`` talks to ``(i + N) mod n``; *random shift* draws
+  ``N`` uniformly;
+- *Random(X)* — each node picks ``X`` distinct random destinations;
+- *all-to-all* — every ordered pair.
+
+The uniform-random condition of the Booksim experiments is per-packet (a
+fresh destination for every packet), so it lives in the simulator's
+injection process rather than here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import TrafficError
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "Pattern",
+    "random_permutation",
+    "shift",
+    "random_shift",
+    "random_destinations",
+    "all_to_all",
+]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A static traffic pattern: named, ordered collection of host flows."""
+
+    name: str
+    n_hosts: int
+    flows: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self):
+        for s, d in self.flows:
+            if not (0 <= s < self.n_hosts and 0 <= d < self.n_hosts):
+                raise TrafficError(
+                    f"flow ({s}, {d}) outside host range [0, {self.n_hosts})"
+                )
+            if s == d:
+                raise TrafficError(f"self-flow ({s}, {d}) not allowed")
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def __iter__(self):
+        return iter(self.flows)
+
+    def sources(self) -> np.ndarray:
+        return np.fromiter((s for s, _ in self.flows), dtype=np.int64, count=len(self.flows))
+
+    def destinations(self) -> np.ndarray:
+        return np.fromiter((d for _, d in self.flows), dtype=np.int64, count=len(self.flows))
+
+
+def random_permutation(n_hosts: int, seed: SeedLike = None) -> Pattern:
+    """A random permutation pattern with no fixed points.
+
+    Fixed points of the drawn permutation are eliminated by swapping with a
+    cyclic neighbour, so every host sends to exactly one *other* host and
+    receives from exactly one (for ``n_hosts >= 2``).
+    """
+    check_positive_int(n_hosts, "n_hosts")
+    if n_hosts < 2:
+        raise TrafficError("a permutation needs at least 2 hosts")
+    rng = ensure_rng(seed)
+    perm = rng.permutation(n_hosts)
+    fixed = np.flatnonzero(perm == np.arange(n_hosts))
+    if fixed.size == 1:
+        i = int(fixed[0])
+        j = (i + 1) % n_hosts
+        perm[i], perm[j] = perm[j], perm[i]
+    elif fixed.size > 1:
+        # Rotate the fixed points among themselves.
+        perm[fixed] = perm[np.roll(fixed, 1)]
+    flows = tuple((int(i), int(perm[i])) for i in range(n_hosts))
+    return Pattern("random-permutation", n_hosts, flows)
+
+
+def shift(n_hosts: int, amount: int) -> Pattern:
+    """The shift-N pattern: host ``i`` sends to ``(i + amount) mod n``."""
+    check_positive_int(n_hosts, "n_hosts")
+    amount %= n_hosts
+    if amount == 0:
+        raise TrafficError("shift amount must be nonzero modulo n_hosts")
+    flows = tuple((i, (i + amount) % n_hosts) for i in range(n_hosts))
+    return Pattern(f"shift-{amount}", n_hosts, flows)
+
+
+def random_shift(n_hosts: int, seed: SeedLike = None) -> Pattern:
+    """A shift-N pattern with N drawn uniformly from [1, n_hosts)."""
+    if n_hosts < 2:
+        raise TrafficError("a shift needs at least 2 hosts")
+    rng = ensure_rng(seed)
+    return shift(n_hosts, int(rng.integers(1, n_hosts)))
+
+
+def random_destinations(n_hosts: int, x: int, seed: SeedLike = None) -> Pattern:
+    """The Random(X) pattern: each host sends to X distinct other hosts."""
+    check_positive_int(n_hosts, "n_hosts")
+    check_positive_int(x, "x")
+    if x > n_hosts - 1:
+        raise TrafficError(
+            f"Random({x}) impossible with {n_hosts} hosts (max X={n_hosts - 1})"
+        )
+    rng = ensure_rng(seed)
+    flows = []
+    for s in range(n_hosts):
+        # Sample from [0, n-2] and skip over s to exclude the self-flow.
+        picks = rng.choice(n_hosts - 1, size=x, replace=False)
+        for d in picks:
+            d = int(d)
+            flows.append((s, d if d < s else d + 1))
+    return Pattern(f"random({x})", n_hosts, tuple(flows))
+
+
+def all_to_all(n_hosts: int) -> Pattern:
+    """Every host sends to every other host."""
+    check_positive_int(n_hosts, "n_hosts")
+    flows = tuple(
+        (s, d) for s in range(n_hosts) for d in range(n_hosts) if s != d
+    )
+    return Pattern("all-to-all", n_hosts, flows)

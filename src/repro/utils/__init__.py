@@ -1,0 +1,20 @@
+"""Shared utilities: seeded RNG handling, validation, table formatting."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_positive_int,
+    check_non_negative,
+    check_probability,
+    check_in,
+)
+from repro.utils.tables import format_table
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_positive_int",
+    "check_non_negative",
+    "check_probability",
+    "check_in",
+    "format_table",
+]

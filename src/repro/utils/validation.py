@@ -1,0 +1,55 @@
+"""Small argument-validation helpers used across the library.
+
+These raise :class:`repro.errors.ConfigurationError` with messages that name
+the offending parameter, so misconfigured experiments fail fast and clearly
+rather than deep inside a simulator loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "check_positive_int",
+    "check_non_negative",
+    "check_probability",
+    "check_in",
+]
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer >= 1 and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise ConfigurationError(f"{name} must be an int, got {value!r}")
+    if value < 1:
+        raise ConfigurationError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_non_negative(value: Any, name: str) -> float:
+    """Validate that ``value`` is a number >= 0 and return it as ``float``."""
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}") from None
+    if v < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    return v
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it as ``float``."""
+    v = check_non_negative(value, name)
+    if v > 1:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    return v
+
+
+def check_in(value: Any, allowed: Iterable[Any], name: str) -> Any:
+    """Validate that ``value`` is one of ``allowed`` and return it."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ConfigurationError(f"{name} must be one of {allowed}, got {value!r}")
+    return value

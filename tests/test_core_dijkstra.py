@@ -1,0 +1,125 @@
+"""Unit tests for the tie-breaking shortest-path routines."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.dijkstra import bfs_levels, shortest_path
+from repro.errors import ConfigurationError
+from repro.topology.rrg import random_regular_graph
+
+
+def to_nx(adj):
+    g = nx.Graph()
+    g.add_nodes_from(range(len(adj)))
+    for u, nbrs in enumerate(adj):
+        for v in nbrs:
+            g.add_edge(u, v)
+    return g
+
+
+class TestBfsLevels:
+    def test_matches_networkx(self):
+        adj = random_regular_graph(20, 4, seed=0)
+        ref = nx.single_source_shortest_path_length(to_nx(adj), 0)
+        dist = bfs_levels(adj, 0)
+        for v, d in ref.items():
+            assert dist[v] == d
+
+    def test_banned_node_unreachable(self, ring_adjacency):
+        # Banning both neighbours of node 3 on a 6-cycle isolates it.
+        dist = bfs_levels(ring_adjacency, 0, banned_nodes={2, 4})
+        assert dist[3] == -1
+
+    def test_banned_source(self, ring_adjacency):
+        dist = bfs_levels(ring_adjacency, 0, banned_nodes={0})
+        assert (dist == -1).all()
+
+    def test_banned_edges_directed(self, ring_adjacency):
+        # Banning 0->1 leaves the long way around: 1 is then 5 hops away.
+        dist = bfs_levels(ring_adjacency, 0, banned_edges={(0, 1)})
+        assert dist[1] == 5
+
+
+class TestShortestPathDeterministic:
+    def test_optimal_length(self):
+        adj = random_regular_graph(24, 5, seed=1)
+        g = to_nx(adj)
+        for dst in range(1, 24):
+            path = shortest_path(adj, 0, dst)
+            assert path is not None
+            assert len(path) - 1 == nx.shortest_path_length(g, 0, dst)
+
+    def test_valid_edges(self):
+        adj = random_regular_graph(24, 5, seed=1)
+        path = shortest_path(adj, 0, 17)
+        for u, v in zip(path, path[1:]):
+            assert v in adj[u]
+
+    def test_deterministic(self):
+        adj = random_regular_graph(24, 5, seed=1)
+        assert shortest_path(adj, 0, 17) == shortest_path(adj, 0, 17)
+
+    def test_trivial_pair(self, ring_adjacency):
+        assert shortest_path(ring_adjacency, 2, 2) == [2]
+
+    def test_trivial_pair_banned(self, ring_adjacency):
+        assert shortest_path(ring_adjacency, 2, 2, banned_nodes={2}) is None
+
+    def test_unreachable_returns_none(self):
+        adj = [[1], [0], [3], [2]]
+        assert shortest_path(adj, 0, 2) is None
+
+    def test_banned_endpoint_returns_none(self, ring_adjacency):
+        assert shortest_path(ring_adjacency, 0, 3, banned_nodes={3}) is None
+        assert shortest_path(ring_adjacency, 0, 3, banned_nodes={0}) is None
+
+    def test_small_id_bias(self):
+        # Diamond: 0-1-3 and 0-2-3 tie; "min" must take the path through 1.
+        adj = [[1, 2], [0, 3], [0, 3], [1, 2]]
+        assert shortest_path(adj, 0, 3, tie="min") == [0, 1, 3]
+
+    def test_invalid_tie_rejected(self, ring_adjacency):
+        with pytest.raises(ConfigurationError):
+            shortest_path(ring_adjacency, 0, 3, tie="bogus")
+
+
+class TestShortestPathRandomized:
+    def test_optimal_length_preserved(self):
+        adj = random_regular_graph(24, 5, seed=1)
+        g = to_nx(adj)
+        rng = np.random.default_rng(0)
+        for dst in range(1, 24):
+            path = shortest_path(adj, 0, dst, tie="random", rng=rng)
+            assert len(path) - 1 == nx.shortest_path_length(g, 0, dst)
+
+    def test_explores_both_diamond_branches(self):
+        adj = [[1, 2], [0, 3], [0, 3], [1, 2]]
+        rng = np.random.default_rng(0)
+        seen = {
+            tuple(shortest_path(adj, 0, 3, tie="random", rng=rng))
+            for _ in range(64)
+        }
+        assert seen == {(0, 1, 3), (0, 2, 3)}
+
+    def test_roughly_uniform_on_diamond(self):
+        adj = [[1, 2], [0, 3], [0, 3], [1, 2]]
+        rng = np.random.default_rng(1)
+        hits = sum(
+            shortest_path(adj, 0, 3, tie="random", rng=rng)[1] == 1
+            for _ in range(400)
+        )
+        assert 120 <= hits <= 280  # ~200 expected
+
+    def test_seeded_reproducible(self):
+        adj = random_regular_graph(24, 5, seed=1)
+        a = shortest_path(adj, 0, 17, tie="random", rng=np.random.default_rng(5))
+        b = shortest_path(adj, 0, 17, tie="random", rng=np.random.default_rng(5))
+        assert a == b
+
+    def test_respects_bans(self, ring_adjacency):
+        rng = np.random.default_rng(0)
+        path = shortest_path(
+            ring_adjacency, 0, 3, tie="random", rng=rng, banned_edges={(0, 1), (1, 0)}
+        )
+        assert path == [0, 5, 4, 3]

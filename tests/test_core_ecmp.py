@@ -1,0 +1,105 @@
+"""Unit tests for ECMP path enumeration and its Jellyfish weakness."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import Jellyfish, PathCache
+from repro.core.ecmp import ecmp_paths
+from repro.errors import ConfigurationError, NoPathError
+from repro.model import model_throughput
+from repro.topology.rrg import random_regular_graph
+from repro.traffic import shift
+
+
+def to_nx(adj):
+    g = nx.Graph()
+    g.add_nodes_from(range(len(adj)))
+    for u, nbrs in enumerate(adj):
+        for v in nbrs:
+            g.add_edge(u, v)
+    return g
+
+
+class TestEnumeration:
+    def test_all_paths_are_shortest(self):
+        adj = random_regular_graph(16, 4, seed=2)
+        g = to_nx(adj)
+        for dst in (3, 9, 15):
+            sp = nx.shortest_path_length(g, 0, dst)
+            for p in ecmp_paths(adj, 0, dst, 8):
+                assert p.hops == sp
+
+    def test_enumerates_every_shortest_path_on_diamond(self):
+        adj = [[1, 2], [0, 3], [0, 3], [1, 2]]
+        paths = {p.nodes for p in ecmp_paths(adj, 0, 3, 8)}
+        assert paths == {(0, 1, 3), (0, 2, 3)}
+
+    def test_count_matches_networkx(self):
+        adj = random_regular_graph(14, 5, seed=3)
+        g = to_nx(adj)
+        for dst in (5, 9, 13):
+            ref = list(nx.all_shortest_paths(g, 0, dst))
+            ours = ecmp_paths(adj, 0, dst, 1000)
+            assert len(ours) == len(ref)
+            assert {p.nodes for p in ours} == {tuple(r) for r in ref}
+
+    def test_k_caps_enumeration(self):
+        adj = random_regular_graph(14, 5, seed=3)
+        assert len(ecmp_paths(adj, 0, 9, 2)) <= 2
+
+    def test_deterministic_prefix_is_lexicographic(self):
+        adj = [[1, 2], [0, 3], [0, 3], [1, 2]]
+        (p,) = ecmp_paths(adj, 0, 3, 1)
+        assert p.nodes == (0, 1, 3)
+
+    def test_rng_sampling_varies(self):
+        adj = random_regular_graph(14, 5, seed=3)
+        # Pick a destination that actually has several equal-cost paths.
+        dst = next(
+            d for d in range(1, 14) if len(ecmp_paths(adj, 0, d, 100)) >= 3
+        )
+        seen = set()
+        for s in range(24):
+            ps = ecmp_paths(adj, 0, dst, 1, rng=np.random.default_rng(s))
+            seen.add(ps[0].nodes)
+        assert len(seen) > 1
+
+    def test_trivial_and_missing(self):
+        assert ecmp_paths([[1], [0]], 0, 0, 3)[0].nodes == (0,)
+        with pytest.raises(NoPathError):
+            ecmp_paths([[1], [0], [3], [2]], 0, 2, 3)
+        with pytest.raises(ConfigurationError):
+            ecmp_paths([[1], [0]], 0, 1, 0)
+
+    def test_selector_registry(self):
+        topo = Jellyfish(12, 10, 7, seed=7)
+        ps = PathCache(topo, "ecmp", k=4, seed=0).get(0, 5)
+        assert 1 <= ps.k <= 4
+        hops = {p.hops for p in ps}
+        assert len(hops) == 1
+
+
+class TestJellyfishWeakness:
+    """The paper's motivation: ECMP finds little path diversity on
+    Jellyfish, so KSP-family schemes beat it under demanding traffic."""
+
+    def test_ecmp_diversity_is_low(self):
+        topo = Jellyfish(16, 12, 9, seed=5)
+        cache = PathCache(topo, "ecmp", k=8, seed=0)
+        counts = [cache.get(s, d).k for s in range(8) for d in range(8) if s != d]
+        # Most pairs have far fewer than 8 equal-cost paths.
+        assert np.mean(counts) < 6
+
+    def test_ksp_beats_ecmp_on_shift_model(self):
+        topo = Jellyfish(12, 10, 7, seed=7)
+        n = topo.n_hosts
+        pats = [shift(n, a) for a in (1, n // 3, n // 2)]
+
+        def mean_th(scheme):
+            cache = PathCache(topo, scheme, k=4, seed=0)
+            return float(
+                np.mean([model_throughput(topo, p, cache).mean_per_node() for p in pats])
+            )
+
+        assert mean_th("redksp") > mean_th("ecmp")

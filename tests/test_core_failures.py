@@ -1,0 +1,114 @@
+"""Unit tests for link-failure analysis of path sets."""
+
+import numpy as np
+import pytest
+
+from repro import Jellyfish, PathCache
+from repro.core.failures import (
+    failure_resilience,
+    normalise_failures,
+    pair_survives,
+    sample_link_failures,
+    surviving_paths,
+)
+from repro.core.path import Path, PathSet
+from repro.errors import ConfigurationError, TrafficError
+
+
+def ps(*node_lists):
+    paths = [Path(nl) for nl in node_lists]
+    return PathSet(paths[0].source, paths[0].destination, paths)
+
+
+class TestSurvival:
+    def test_failed_link_kills_crossing_path(self):
+        p = ps([0, 1, 2], [0, 3, 2])
+        alive = surviving_paths(p, {(0, 1)})
+        assert alive == [Path([0, 3, 2])]
+
+    def test_direction_agnostic(self):
+        p = ps([0, 1, 2])
+        assert not surviving_paths(p, {(1, 0)})
+        assert not surviving_paths(p, {(0, 1)})
+
+    def test_no_failures_keeps_everything(self):
+        p = ps([0, 1, 2], [0, 3, 2])
+        assert len(surviving_paths(p, set())) == 2
+
+    def test_pair_survives(self):
+        p = ps([0, 1, 2], [0, 3, 2])
+        assert pair_survives(p, {(0, 1)})
+        assert not pair_survives(p, {(0, 1), (0, 3)})
+
+    def test_trivial_path_always_survives(self):
+        p = PathSet(4, 4, [Path([4])])
+        assert pair_survives(p, {(0, 1), (2, 3)})
+
+    def test_normalise(self):
+        assert normalise_failures([(3, 1), (1, 3)]) == frozenset({(1, 3)})
+
+
+class TestSampling:
+    def test_sample_counts_and_validity(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        failed = sample_link_failures(edges, 2, rng=np.random.default_rng(0))
+        assert len(failed) == 2
+        assert failed <= normalise_failures(edges)
+
+    def test_sample_too_many(self):
+        with pytest.raises(TrafficError):
+            sample_link_failures([(0, 1)], 2)
+
+    def test_sample_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            sample_link_failures([(0, 1)], 0)
+
+    def test_reproducible(self):
+        edges = [(i, i + 1) for i in range(20)]
+        a = sample_link_failures(edges, 5, rng=np.random.default_rng(3))
+        b = sample_link_failures(edges, 5, rng=np.random.default_rng(3))
+        assert a == b
+
+
+class TestResilience:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return Jellyfish(16, 12, 9, seed=5)
+
+    @pytest.fixture(scope="class")
+    def pairs(self, topo):
+        return [(s, d) for s in range(6) for d in range(6) if s != d]
+
+    def test_single_failure_cannot_disconnect_edksp_pair(self, topo, pairs):
+        cache = PathCache(topo, "edksp", k=4, seed=0)
+        cache.precompute(pairs)
+        report = failure_resilience(cache, pairs, n_failures=1, trials=30, seed=0)
+        # Disjoint paths: one cable kills at most one of the k paths.
+        assert report["pair_survival"] == 1.0
+        assert report["path_survival"] >= 1 - 1 / 4 - 1e-9
+
+    def test_edksp_more_resilient_than_ksp(self, topo, pairs):
+        results = {}
+        for scheme in ("ksp", "redksp"):
+            cache = PathCache(topo, scheme, k=8, seed=0)
+            cache.precompute(pairs)
+            results[scheme] = failure_resilience(
+                cache, pairs, n_failures=4, trials=40, seed=1
+            )
+        assert (
+            results["redksp"]["pair_survival"]
+            >= results["ksp"]["pair_survival"]
+        )
+
+    def test_more_failures_hurt_more(self, topo, pairs):
+        cache = PathCache(topo, "ksp", k=4, seed=0)
+        cache.precompute(pairs)
+        few = failure_resilience(cache, pairs, n_failures=1, trials=20, seed=2)
+        many = failure_resilience(cache, pairs, n_failures=12, trials=20, seed=2)
+        assert many["path_survival"] < few["path_survival"]
+
+    def test_report_fields(self, topo, pairs):
+        cache = PathCache(topo, "sp", k=1, seed=0)
+        report = failure_resilience(cache, pairs[:4], n_failures=2, trials=5, seed=0)
+        assert set(report) == {"pair_survival", "path_survival", "n_failures", "trials"}
+        assert 0 <= report["pair_survival"] <= 1

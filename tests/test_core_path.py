@@ -1,0 +1,90 @@
+"""Unit tests for the Path / PathSet value types."""
+
+import pytest
+
+from repro.core.path import Path, PathSet
+from repro.errors import PathError
+
+
+class TestPath:
+    def test_basic_properties(self):
+        p = Path([3, 1, 4])
+        assert p.source == 3
+        assert p.destination == 4
+        assert p.hops == 2
+        assert len(p) == 3
+        assert list(p) == [3, 1, 4]
+        assert p[1] == 1
+
+    def test_edges(self):
+        p = Path([3, 1, 4])
+        assert p.edges() == [(3, 1), (1, 4)]
+        assert p.undirected_edges() == [(1, 3), (1, 4)]
+
+    def test_trivial(self):
+        p = Path([5])
+        assert p.hops == 0
+        assert p.edges() == []
+
+    def test_empty_rejected(self):
+        with pytest.raises(PathError):
+            Path([])
+
+    def test_loop_rejected(self):
+        with pytest.raises(PathError, match="revisits"):
+            Path([1, 2, 1])
+
+    def test_equality_and_hash(self):
+        assert Path([1, 2]) == Path([1, 2])
+        assert Path([1, 2]) != Path([2, 1])
+        assert hash(Path([1, 2])) == hash(Path([1, 2]))
+        assert {Path([1, 2]), Path([1, 2])} == {Path([1, 2])}
+
+    def test_ordering_by_hops_then_lex(self):
+        assert Path([1, 2]) < Path([1, 3, 2])
+        assert Path([1, 2, 5]) < Path([1, 3, 5])
+
+    def test_immutable(self):
+        p = Path([1, 2])
+        with pytest.raises(AttributeError):
+            p.nodes = (3, 4)
+
+
+class TestPathSet:
+    def test_basic(self):
+        ps = PathSet(1, 4, [Path([1, 4]), Path([1, 2, 4])])
+        assert ps.k == 2
+        assert ps.minimal == Path([1, 4])
+        assert ps.hop_counts() == [1, 2]
+        assert ps.mean_hops() == 1.5
+        assert ps[1] == Path([1, 2, 4])
+
+    def test_empty_rejected(self):
+        with pytest.raises(PathError, match="empty"):
+            PathSet(1, 4, [])
+
+    def test_wrong_endpoints_rejected(self):
+        with pytest.raises(PathError):
+            PathSet(1, 4, [Path([1, 3])])
+        with pytest.raises(PathError):
+            PathSet(1, 4, [Path([2, 4])])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(PathError, match="duplicate"):
+            PathSet(1, 4, [Path([1, 4]), Path([1, 4])])
+
+    def test_equality_and_hash(self):
+        a = PathSet(1, 4, [Path([1, 4])])
+        b = PathSet(1, 4, [Path([1, 4])])
+        assert a == b and hash(a) == hash(b)
+
+    def test_immutable(self):
+        ps = PathSet(1, 4, [Path([1, 4])])
+        with pytest.raises(AttributeError):
+            ps.paths = ()
+
+    def test_iteration(self):
+        paths = [Path([1, 4]), Path([1, 2, 4]), Path([1, 3, 4])]
+        ps = PathSet(1, 4, paths)
+        assert list(ps) == paths
+        assert len(ps) == 3

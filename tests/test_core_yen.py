@@ -1,0 +1,147 @@
+"""Unit tests for Yen's k-shortest paths against a networkx reference."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.yen import k_shortest_paths
+from repro.errors import (
+    ConfigurationError,
+    InsufficientPathsError,
+    NoPathError,
+)
+from repro.topology.rrg import random_regular_graph
+
+
+def to_nx(adj):
+    g = nx.Graph()
+    g.add_nodes_from(range(len(adj)))
+    for u, nbrs in enumerate(adj):
+        for v in nbrs:
+            g.add_edge(u, v)
+    return g
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 4, 8])
+    def test_lengths_match_networkx(self, k):
+        adj = random_regular_graph(16, 4, seed=2)
+        g = to_nx(adj)
+        for dst in (3, 9, 15):
+            ours = k_shortest_paths(adj, 0, dst, k)
+            ref = []
+            for i, p in enumerate(nx.shortest_simple_paths(g, 0, dst)):
+                if i == k:
+                    break
+                ref.append(len(p) - 1)
+            assert [p.hops for p in ours] == ref
+
+    def test_paths_are_simple_and_valid(self):
+        adj = random_regular_graph(16, 4, seed=2)
+        for p in k_shortest_paths(adj, 0, 9, 8):
+            nodes = list(p)
+            assert len(set(nodes)) == len(nodes)
+            for u, v in zip(nodes, nodes[1:]):
+                assert v in adj[u]
+
+    def test_paths_unique(self):
+        adj = random_regular_graph(16, 4, seed=2)
+        paths = k_shortest_paths(adj, 0, 9, 8)
+        assert len({p.nodes for p in paths}) == len(paths)
+
+    def test_nondecreasing_lengths(self):
+        adj = random_regular_graph(16, 4, seed=2)
+        hops = [p.hops for p in k_shortest_paths(adj, 0, 9, 8)]
+        assert hops == sorted(hops)
+
+    def test_endpoints(self):
+        adj = random_regular_graph(16, 4, seed=2)
+        for p in k_shortest_paths(adj, 2, 11, 6):
+            assert p.source == 2 and p.destination == 11
+
+    def test_first_is_shortest(self):
+        adj = random_regular_graph(16, 4, seed=2)
+        g = to_nx(adj)
+        paths = k_shortest_paths(adj, 0, 9, 4)
+        assert paths[0].hops == nx.shortest_path_length(g, 0, 9)
+
+
+class TestVanillaBias:
+    def test_figure3_vanilla_shares_first_link(self, figure3_graph):
+        """The paper's Figure 3(a): vanilla KSP(3) from S1(0) to D1(9)
+        funnels all three paths through low-id node A(1)."""
+        paths = k_shortest_paths(figure3_graph, 0, 9, 3, tie="min")
+        assert [p.hops for p in paths] == [3, 4, 4]
+        # All three paths leave S1 via A (node 1) — the bias pathology.
+        assert all(p.nodes[1] == 1 for p in paths)
+
+    def test_figure3_randomized_spreads(self, figure3_graph):
+        """rKSP escapes the shared S1->A link in at least some draws."""
+        rng = np.random.default_rng(0)
+        spread_seen = False
+        for _ in range(32):
+            paths = k_shortest_paths(figure3_graph, 0, 9, 3, tie="random", rng=rng)
+            assert [p.hops for p in paths] == [3, 4, 4]
+            first_hops = {p.nodes[1] for p in paths}
+            if len(first_hops) > 1:
+                spread_seen = True
+                break
+        assert spread_seen
+
+
+class TestEdgeCases:
+    def test_no_path_raises(self):
+        adj = [[1], [0], [3], [2]]
+        with pytest.raises(NoPathError):
+            k_shortest_paths(adj, 0, 2, 3)
+
+    def test_same_endpoint_single_trivial_path(self, ring_adjacency):
+        paths = k_shortest_paths(ring_adjacency, 2, 2, 4)
+        assert len(paths) == 1
+        assert paths[0].nodes == (2,)
+
+    def test_same_endpoint_error_mode(self, ring_adjacency):
+        with pytest.raises(InsufficientPathsError):
+            k_shortest_paths(ring_adjacency, 2, 2, 4, on_shortfall="error")
+
+    def test_shortfall_truncates(self, ring_adjacency):
+        # A 6-cycle has exactly 2 simple paths between any two nodes.
+        paths = k_shortest_paths(ring_adjacency, 0, 3, 5)
+        assert len(paths) == 2
+
+    def test_shortfall_error_carries_found(self, ring_adjacency):
+        with pytest.raises(InsufficientPathsError) as exc:
+            k_shortest_paths(ring_adjacency, 0, 3, 5, on_shortfall="error")
+        assert len(exc.value.found) == 2
+        assert exc.value.requested == 5
+
+    def test_invalid_k(self, ring_adjacency):
+        with pytest.raises(ConfigurationError):
+            k_shortest_paths(ring_adjacency, 0, 3, 0)
+
+    def test_invalid_shortfall_mode(self, ring_adjacency):
+        with pytest.raises(ConfigurationError):
+            k_shortest_paths(ring_adjacency, 0, 3, 2, on_shortfall="pad")
+
+
+class TestRandomizedVariant:
+    def test_same_multiset_of_lengths_as_deterministic(self):
+        # Randomization must not change the path-length distribution.
+        adj = random_regular_graph(16, 4, seed=2)
+        rng = np.random.default_rng(3)
+        for dst in (5, 9, 13):
+            det = [p.hops for p in k_shortest_paths(adj, 0, dst, 8)]
+            ran = [p.hops for p in k_shortest_paths(adj, 0, dst, 8, tie="random", rng=rng)]
+            assert det == ran
+
+    def test_reproducible_with_seed(self):
+        adj = random_regular_graph(16, 4, seed=2)
+        a = k_shortest_paths(adj, 0, 9, 8, tie="random", rng=np.random.default_rng(7))
+        b = k_shortest_paths(adj, 0, 9, 8, tie="random", rng=np.random.default_rng(7))
+        assert a == b
+
+    def test_randomized_paths_are_simple(self):
+        adj = random_regular_graph(16, 4, seed=2)
+        rng = np.random.default_rng(3)
+        for p in k_shortest_paths(adj, 0, 9, 8, tie="random", rng=rng):
+            assert len(set(p.nodes)) == len(p.nodes)

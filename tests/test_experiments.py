@@ -1,0 +1,146 @@
+"""Integration tests for the experiment drivers (small scale)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.base import ExperimentResult
+from repro.experiments.presets import (
+    SCALES,
+    latency_preset,
+    model_preset,
+    netsim_preset,
+    pathprops_preset,
+    stencil_preset,
+    topo_trio,
+)
+
+
+class TestPresets:
+    def test_all_scales_defined(self):
+        for scale in SCALES:
+            trio = topo_trio(scale)
+            assert len(trio) == 3
+            for spec in trio:
+                assert spec.n_hosts > 0
+                assert (spec.n * spec.y) % 2 == 0, f"{spec.label} has odd parity"
+                assert spec.y < spec.n
+
+    def test_paper_scale_matches_table1(self):
+        trio = topo_trio("paper")
+        assert [t.label for t in trio] == [
+            "RRG(36,24,16)", "RRG(720,24,19)", "RRG(2880,48,38)",
+        ]
+        assert [t.n_hosts for t in trio] == [288, 3600, 28800]
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            topo_trio("huge")
+
+    @pytest.mark.parametrize("figure", [4, 5, 6])
+    def test_model_presets(self, figure):
+        for scale in SCALES:
+            p = model_preset(scale, figure)
+            assert p["topo"].n_hosts > p["random_x"]
+            assert p["k"] >= 1
+
+    @pytest.mark.parametrize("figure", [7, 8, 9, 10])
+    def test_netsim_presets(self, figure):
+        for scale in SCALES:
+            p = netsim_preset(scale, figure)
+            assert len(p["rates"]) > 2
+            assert set(p["schemes"]) <= {"ksp", "rksp", "edksp", "redksp"}
+
+    @pytest.mark.parametrize("figure", [11, 12, 13])
+    def test_latency_presets(self, figure):
+        for scale in SCALES:
+            p = latency_preset(scale, figure)
+            assert p["mechanism"] == "ksp_adaptive"
+
+    def test_pathprops_and_stencil_presets(self):
+        for scale in SCALES:
+            pp = pathprops_preset(scale)
+            assert len(pp["pair_sample"]) == 3
+            sp = stencil_preset(scale)
+            assert sp["link_bandwidth"] > 0
+
+
+class TestRegistry:
+    def test_all_sixteen_paper_experiments_registered(self):
+        from repro.experiments.runner import PAPER_EXPERIMENTS
+
+        expected = {f"table{i}" for i in range(1, 7)} | {
+            f"fig{i}" for i in range(4, 14)
+        }
+        assert set(PAPER_EXPERIMENTS) == expected
+        assert expected <= set(EXPERIMENTS)
+
+    def test_extension_experiments_prefixed(self):
+        from repro.experiments.runner import PAPER_EXPERIMENTS
+
+        extras = set(EXPERIMENTS) - set(PAPER_EXPERIMENTS)
+        assert all(name.startswith("ext_") for name in extras)
+        assert "ext_failures" in extras
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            run_experiment("fig99")
+
+
+class TestSmallScaleRuns:
+    """Each driver must run end-to-end at small scale and produce a
+    well-formed, paper-shaped table.  The heavier drivers are exercised by
+    the benchmark suite; here we check the fast ones and one of each kind."""
+
+    def _check(self, result: ExperimentResult):
+        assert result.rows
+        for row in result.rows:
+            assert len(row) == len(result.headers)
+        text = result.to_text()
+        assert result.experiment in text
+
+    def test_table1(self):
+        r = run_experiment("table1", scale="small", seed=0)
+        self._check(r)
+        for label, d in r.data.items():
+            assert 1.0 < d["apl"] < 3.0
+
+    def test_tables_2_3_4_share_computation(self):
+        r2 = run_experiment("table2", scale="small", seed=1)
+        r3 = run_experiment("table3", scale="small", seed=1)
+        r4 = run_experiment("table4", scale="small", seed=1)
+        for r in (r2, r3, r4):
+            self._check(r)
+        # Table III/IV invariants: ED schemes fully disjoint.
+        for label, per_scheme in r3.data.items():
+            assert per_scheme["edksp"]["fraction_disjoint_pairs"] == 1.0
+            assert per_scheme["redksp"]["max_link_sharing"] <= 1
+
+    def test_fig4_model(self):
+        r = run_experiment("fig4", scale="small", seed=0)
+        self._check(r)
+        # Multi-path schemes beat SP on permutation at small scale.
+        assert r.data["redksp"]["permutation"] > r.data["sp"]["permutation"]
+
+    def test_table5_stencil(self):
+        r = run_experiment("table5", scale="small", seed=0)
+        self._check(r)
+        assert set(r.data) == {"redksp", "ksp", "rksp"}
+        for scheme, per_app in r.data.items():
+            for app, ms in per_app.items():
+                assert ms > 0
+
+    def test_ext_failures(self):
+        r = run_experiment("ext_failures", scale="small", seed=0)
+        self._check(r)
+        # Edge-disjoint schemes never lose a pair to a single failure.
+        single = min(r.data["edksp"])
+        assert r.data["edksp"][single]["pair_survival"] == 1.0
+        assert r.data["redksp"][single]["pair_survival"] == 1.0
+
+    def test_cli_main(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table1", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out

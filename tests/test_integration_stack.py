@@ -1,0 +1,87 @@
+"""Cross-subsystem integration tests: topology -> paths -> model/netsim/appsim.
+
+These check that the three evaluation instruments agree with each other on
+the same workload — the property that makes the reproduction trustworthy.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Jellyfish, PathCache
+from repro.appsim import build_workload, run_flows
+from repro.model import model_throughput
+from repro.netsim import PatternTraffic, SimConfig, Simulator
+from repro.traffic import random_permutation, shift, switch_pair_flows
+
+FAST = SimConfig(warmup_cycles=200, sample_cycles=200, n_samples=5)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Jellyfish(10, 10, 6, seed=11)  # 40 hosts, mildly stressed
+
+
+class TestModelVsNetsim:
+    def test_accepted_throughput_tracks_model_under_saturation_load(self, topo):
+        """Drive the network at full injection: the accepted throughput per
+        scheme should rank in the same order as the model's prediction."""
+        pat = shift(topo.n_hosts, topo.n_hosts // 2)
+        outcomes = {}
+        for scheme in ("sp", "redksp"):
+            cache = PathCache(topo, scheme, k=4, seed=0)
+            model = model_throughput(topo, pat, cache).mean_per_node()
+            sim = Simulator(
+                topo, cache, "random", PatternTraffic(pat), 1.0, FAST, seed=2
+            )
+            r = sim.run()
+            outcomes[scheme] = (model, r.accepted_throughput)
+        assert outcomes["redksp"][0] > outcomes["sp"][0]
+        assert outcomes["redksp"][1] > outcomes["sp"][1]
+
+    def test_model_upper_bounds_delivered_roughly(self, topo):
+        """The fluid model is optimistic: simulated accepted throughput at
+        full load does not exceed the model by more than protocol slack."""
+        pat = random_permutation(topo.n_hosts, seed=5)
+        cache = PathCache(topo, "redksp", k=4, seed=0)
+        model = model_throughput(topo, pat, cache).mean_per_node()
+        sim = Simulator(topo, cache, "random", PatternTraffic(pat), 1.0, FAST, seed=2)
+        r = sim.run()
+        assert r.accepted_throughput <= model * 1.15
+
+
+class TestModelVsAppsim:
+    def test_completion_time_inverse_of_model_rate(self, topo):
+        """For a permutation where every message has equal size, the flow
+        simulator's makespan is roughly bytes / (model rate x bandwidth)."""
+        pat = random_permutation(topo.n_hosts, seed=3)
+        cache = PathCache(topo, "redksp", k=4, seed=0)
+        model = model_throughput(topo, pat, cache).min_per_flow()
+        nbytes = 10e6
+        bw = 20e9
+        msgs = [(s, d, nbytes) for s, d in pat.flows]
+        flows = build_workload(topo, msgs, cache, mechanism="random")
+        r = run_flows(flows, bw, topo.n_links)
+        # The straggler flow finishes no sooner than the fluid bound.
+        lower = nbytes / (bw * 1.0)  # absolute floor: full link speed
+        assert r.makespan >= lower * 0.99
+        upper = nbytes / (bw * max(model, 1e-9))
+        assert r.makespan <= upper * 1.6
+
+
+class TestPathCacheSharing:
+    def test_one_cache_serves_all_three_instruments(self, topo):
+        pat = random_permutation(topo.n_hosts, seed=9)
+        cache = PathCache(topo, "redksp", k=4, seed=0)
+        cache.precompute(switch_pair_flows(topo, pat))
+        size_before = len(cache)
+
+        model_throughput(topo, pat, cache)
+        msgs = [(s, d, 1e6) for s, d in pat.flows]
+        run_flows(build_workload(topo, msgs, cache, mechanism="random"),
+                  20e9, topo.n_links)
+        sim = Simulator(topo, cache, "ksp_adaptive", PatternTraffic(pat), 0.3,
+                        FAST, seed=0)
+        sim.run()
+        # Pattern pairs were precomputed; instruments added only the
+        # trivial intra-switch pairs (if any).
+        assert len(cache) >= size_before

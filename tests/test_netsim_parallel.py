@@ -1,0 +1,83 @@
+"""Tests for the process-parallel sweep grid (and pickling support)."""
+
+import pickle
+
+import pytest
+
+from repro import Jellyfish, PathCache
+from repro.core.path import Path, PathSet
+from repro.errors import ConfigurationError
+from repro.netsim import SimConfig, run_saturation_grid
+from repro.traffic import random_permutation, shift
+
+TINY = SimConfig(warmup_cycles=50, sample_cycles=50, n_samples=2)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Jellyfish(8, 8, 5, seed=3)
+
+
+class TestPickling:
+    def test_path_roundtrip(self):
+        p = Path([3, 1, 4])
+        assert pickle.loads(pickle.dumps(p)) == p
+
+    def test_pathset_roundtrip(self):
+        ps = PathSet(1, 4, [Path([1, 4]), Path([1, 2, 4])])
+        again = pickle.loads(pickle.dumps(ps))
+        assert again == ps
+        assert again.minimal == ps.minimal
+
+    def test_cache_state_roundtrip(self, topo):
+        cache = PathCache(topo, "redksp", k=3, seed=0)
+        cache.precompute([(0, 1), (2, 5)])
+        state = pickle.loads(pickle.dumps(cache.export_state()))
+        fresh = PathCache(topo, "redksp", k=3, seed=0)
+        fresh.import_state(state)
+        assert fresh.get(0, 1) == cache.get(0, 1)
+        assert len(fresh) == 2
+
+
+class TestGrid:
+    def test_inline_grid_shape(self, topo):
+        pats = [random_permutation(topo.n_hosts, seed=0)]
+        grid = run_saturation_grid(
+            topo, ["sp", "redksp"], ["random", "ksp_adaptive"], pats,
+            k=3, rates=(0.2, 0.6, 1.0), config=TINY, seed=0, processes=1,
+        )
+        assert set(grid) == {
+            ("sp", "random"), ("sp", "ksp_adaptive"),
+            ("redksp", "random"), ("redksp", "ksp_adaptive"),
+        }
+        assert all(0.0 <= v <= 1.0 for v in grid.values())
+
+    def test_parallel_matches_inline(self, topo):
+        pats = [shift(topo.n_hosts, 7)]
+        kwargs = dict(
+            k=3, rates=(0.3, 0.9), config=TINY, seed=4,
+        )
+        inline = run_saturation_grid(
+            topo, ["redksp"], ["random"], pats, processes=1, **kwargs
+        )
+        parallel = run_saturation_grid(
+            topo, ["redksp"], ["random"], pats, processes=2, **kwargs
+        )
+        assert inline == parallel
+
+    def test_averages_over_patterns(self, topo):
+        pats = [random_permutation(topo.n_hosts, seed=s) for s in range(2)]
+        grid = run_saturation_grid(
+            topo, ["sp"], ["random"], pats,
+            k=1, rates=(0.5, 1.0), config=TINY, seed=0,
+        )
+        assert len(grid) == 1
+
+    def test_validation(self, topo):
+        pats = [random_permutation(topo.n_hosts, seed=0)]
+        with pytest.raises(ConfigurationError):
+            run_saturation_grid(topo, [], ["random"], pats, rates=(0.5,))
+        with pytest.raises(ConfigurationError):
+            run_saturation_grid(
+                topo, ["sp"], ["random"], pats, rates=(0.5,), processes=0
+            )

@@ -1,0 +1,79 @@
+"""Tests for the simulator's extended statistics (percentiles, utilisation)."""
+
+import math
+
+import pytest
+
+from repro import Jellyfish, PathCache
+from repro.netsim import SimConfig, Simulator, UniformTraffic
+
+FAST = SimConfig(warmup_cycles=100, sample_cycles=100, n_samples=3)
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    topo = Jellyfish(8, 8, 5, seed=3)
+    paths = PathCache(topo, "redksp", k=4, seed=1)
+    sim = Simulator(topo, paths, "random", UniformTraffic(topo.n_hosts), 0.4, FAST, seed=1)
+    return sim.run()
+
+
+class TestLatencyPercentiles:
+    def test_percentiles_ordered(self, run_result):
+        r = run_result
+        assert r.latency_p50 <= r.latency_p99
+
+    def test_p50_near_mean_at_moderate_load(self, run_result):
+        r = run_result
+        assert r.latency_p50 <= r.mean_latency * 1.5
+
+    def test_percentiles_bounded_by_pipeline_delay(self, run_result):
+        # No packet can be faster than injection + ejection channels.
+        assert run_result.latency_p50 >= 2 * FAST.channel_latency
+
+    def test_no_traffic_gives_nan(self):
+        topo = Jellyfish(8, 8, 5, seed=3)
+        paths = PathCache(topo, "sp", k=1, seed=1)
+        # Rate so low that (almost surely) nothing is delivered within the
+        # 3-sample window: use a fresh simulator with zero warmup and the
+        # minimum rate and a tiny measurement span.
+        cfg = SimConfig(warmup_cycles=0, sample_cycles=5, n_samples=1)
+        sim = Simulator(
+            topo, paths, "sp", UniformTraffic(topo.n_hosts), 0.001, cfg, seed=1
+        )
+        r = sim.run()
+        if r.measured_delivered == 0:
+            assert math.isnan(r.latency_p50)
+            assert math.isnan(r.latency_p99)
+
+
+class TestLinkUtilisation:
+    def test_utilisation_in_unit_interval(self, run_result):
+        assert 0.0 <= run_result.mean_link_utilisation <= run_result.max_link_utilisation
+        assert run_result.max_link_utilisation <= 1.0 + 1e-9
+
+    def test_utilisation_scales_with_load(self):
+        topo = Jellyfish(8, 8, 5, seed=3)
+        paths = PathCache(topo, "redksp", k=4, seed=1)
+
+        def util(rate):
+            sim = Simulator(
+                topo, paths, "random", UniformTraffic(topo.n_hosts), rate, FAST, seed=1
+            )
+            return sim.run().mean_link_utilisation
+
+        assert util(0.6) > util(0.1)
+
+    def test_single_pair_traffic_loads_few_links(self):
+        from repro.netsim import PatternTraffic
+        from repro.traffic.patterns import Pattern
+
+        topo = Jellyfish(8, 8, 5, seed=3)
+        paths = PathCache(topo, "sp", k=1, seed=1)
+        pat = Pattern("one", topo.n_hosts, ((0, topo.n_hosts - 1),))
+        sim = Simulator(topo, paths, "sp", PatternTraffic(pat), 0.5, FAST, seed=1)
+        r = sim.run()
+        # One SP flow touches at most diameter links: mean utilisation is
+        # far below the max.
+        assert r.max_link_utilisation > 0
+        assert r.mean_link_utilisation < r.max_link_utilisation / 2

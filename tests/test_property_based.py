@@ -1,0 +1,253 @@
+"""Hypothesis property tests on the core data structures and invariants."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.appsim.fairshare import maxmin_rates
+from repro.core.dijkstra import shortest_path
+from repro.core.remove_find import edge_disjoint_paths
+from repro.core.yen import k_shortest_paths
+from repro.model import model_throughput
+from repro.core.cache import PathCache
+from repro.topology.jellyfish import Jellyfish
+from repro.topology.metrics import average_shortest_path_length
+from repro.topology.rrg import is_connected, is_regular, random_regular_graph
+from repro.traffic.patterns import random_destinations, random_permutation, shift
+from repro.traffic.stencil import grid_dims, stencil_messages
+
+# ---------------------------------------------------------------- strategies
+
+# (n, degree) pairs with even parity, degree >= 3 so connectivity is whp.
+rrg_params = st.integers(6, 18).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.integers(3, min(n - 1, 8)).filter(lambda d, n=n: (n * d) % 2 == 0),
+    )
+)
+
+
+def to_nx(adj):
+    g = nx.Graph()
+    g.add_nodes_from(range(len(adj)))
+    for u, nbrs in enumerate(adj):
+        for v in nbrs:
+            g.add_edge(u, v)
+    return g
+
+
+# -------------------------------------------------------------------- graphs
+
+
+class TestRRGProperties:
+    @given(params=rrg_params, seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_regular_connected_simple(self, params, seed):
+        n, d = params
+        adj = random_regular_graph(n, d, seed=seed)
+        assert is_regular(adj, d)
+        assert is_connected(adj)
+        for u, nbrs in enumerate(adj):
+            assert u not in nbrs
+            assert len(set(nbrs)) == len(nbrs)
+            assert all(u in adj[v] for v in nbrs)
+
+
+class TestShortestPathProperties:
+    @given(params=rrg_params, seed=st.integers(0, 2**20), dst=st.integers(1, 17))
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_optimality_both_tie_policies(self, params, seed, dst):
+        n, d = params
+        dst %= n
+        if dst == 0:
+            dst = n - 1
+        adj = random_regular_graph(n, d, seed=seed)
+        ref = nx.shortest_path_length(to_nx(adj), 0, dst)
+        rng = np.random.default_rng(seed)
+        for tie in ("min", "random"):
+            path = shortest_path(adj, 0, dst, tie=tie, rng=rng)
+            assert len(path) - 1 == ref
+            for u, v in zip(path, path[1:]):
+                assert v in adj[u]
+
+
+class TestYenProperties:
+    @given(
+        params=rrg_params,
+        seed=st.integers(0, 2**20),
+        k=st.integers(1, 6),
+        tie=st.sampled_from(["min", "random"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sorted_unique_simple(self, params, seed, k, tie):
+        n, d = params
+        adj = random_regular_graph(n, d, seed=seed)
+        rng = np.random.default_rng(seed)
+        paths = k_shortest_paths(adj, 0, n - 1, k, tie=tie, rng=rng)
+        hops = [p.hops for p in paths]
+        assert hops == sorted(hops)
+        assert len({p.nodes for p in paths}) == len(paths)
+        for p in paths:
+            assert p.source == 0 and p.destination == n - 1
+            assert len(set(p.nodes)) == len(p.nodes)
+
+    @given(params=rrg_params, seed=st.integers(0, 2**20))
+    @settings(max_examples=20, deadline=None)
+    def test_lengths_match_networkx_reference(self, params, seed):
+        n, d = params
+        adj = random_regular_graph(n, d, seed=seed)
+        g = to_nx(adj)
+        ours = [p.hops for p in k_shortest_paths(adj, 0, n - 1, 4)]
+        ref = []
+        for i, p in enumerate(nx.shortest_simple_paths(g, 0, n - 1)):
+            if i == 4:
+                break
+            ref.append(len(p) - 1)
+        assert ours == ref
+
+
+class TestRemoveFindProperties:
+    @given(
+        params=rrg_params,
+        seed=st.integers(0, 2**20),
+        k=st.integers(1, 8),
+        tie=st.sampled_from(["min", "random"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pairwise_disjoint_and_bounded(self, params, seed, k, tie):
+        n, d = params
+        adj = random_regular_graph(n, d, seed=seed)
+        rng = np.random.default_rng(seed)
+        paths = edge_disjoint_paths(adj, 0, n - 1, k, tie=tie, rng=rng)
+        assert 1 <= len(paths) <= min(k, d)
+        used = set()
+        for p in paths:
+            for e in p.undirected_edges():
+                assert e not in used
+                used.add(e)
+        ref = nx.shortest_path_length(to_nx(adj), 0, n - 1)
+        assert paths[0].hops == ref
+
+
+# ------------------------------------------------------------------- traffic
+
+
+class TestPatternProperties:
+    @given(n=st.integers(2, 200), seed=st.integers(0, 2**20))
+    @settings(max_examples=50)
+    def test_permutation_is_derangement_bijection(self, n, seed):
+        p = random_permutation(n, seed=seed)
+        dsts = p.destinations()
+        assert sorted(dsts.tolist()) == list(range(n))
+        assert (dsts != np.arange(n)).all()
+
+    @given(n=st.integers(2, 60), amount=st.integers(-100, 100))
+    @settings(max_examples=50)
+    def test_shift_structure(self, n, amount):
+        if amount % n == 0:
+            return
+        p = shift(n, amount)
+        assert all((d - s) % n == amount % n for s, d in p.flows)
+
+    @given(n=st.integers(3, 40), x=st.integers(1, 6), seed=st.integers(0, 2**20))
+    @settings(max_examples=50)
+    def test_random_x_counts(self, n, x, seed):
+        if x > n - 1:
+            return
+        p = random_destinations(n, x, seed=seed)
+        assert len(p) == n * x
+        per_src = {}
+        for s, d in p.flows:
+            assert s != d
+            per_src.setdefault(s, set()).add(d)
+        assert all(len(v) == x for v in per_src.values())
+
+
+class TestStencilProperties:
+    @given(
+        name=st.sampled_from(["2dnn", "2dnndiag", "3dnn", "3dnndiag"]),
+        n=st.integers(4, 120),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bytes_conserved_and_symmetric(self, name, n):
+        msgs = stencil_messages(name, n, total_bytes=1.0)
+        per_src = {}
+        pairs = set()
+        for s, d, b in msgs:
+            assert s != d
+            per_src[s] = per_src.get(s, 0.0) + b
+            pairs.add((s, d))
+        assert set(per_src) == set(range(n))
+        for total in per_src.values():
+            assert total == pytest.approx(1.0)
+        assert all((d, s) in pairs for s, d in pairs)
+
+    @given(n=st.integers(1, 4000), ndim=st.integers(1, 4))
+    @settings(max_examples=80)
+    def test_grid_dims_factorises(self, n, ndim):
+        dims = grid_dims(n, ndim)
+        assert len(dims) == ndim
+        prod = 1
+        for d in dims:
+            prod *= d
+        assert prod == n
+
+
+# ----------------------------------------------------------------- fairshare
+
+
+class TestFairshareProperties:
+    @given(
+        n_flows=st.integers(1, 40),
+        n_links=st.integers(1, 15),
+        seed=st.integers(0, 2**20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_feasible_and_bottlenecked(self, n_flows, n_links, seed):
+        rng = np.random.default_rng(seed)
+        flows = [
+            np.unique(rng.integers(0, n_links, size=int(rng.integers(1, 4))))
+            for _ in range(n_flows)
+        ]
+        cap = rng.uniform(1.0, 10.0, size=n_links)
+        rates = maxmin_rates(flows, cap)
+        usage = np.zeros(n_links)
+        for f, r in zip(flows, rates):
+            usage[f] += r
+        assert (usage <= cap * (1 + 1e-9) + 1e-9).all()
+        for f, r in zip(flows, rates):
+            assert any(
+                usage[link] >= cap[link] * (1 - 1e-9) - 1e-9
+                and r >= max(rates[j] for j, g in enumerate(flows) if link in g) - 1e-6
+                for link in f
+            )
+
+
+# --------------------------------------------------------------------- model
+
+
+class TestModelProperties:
+    @given(seed=st.integers(0, 2**10))
+    @settings(max_examples=10, deadline=None)
+    def test_rates_in_unit_interval(self, seed):
+        topo = Jellyfish(8, 8, 5, seed=3)
+        cache = PathCache(topo, "redksp", k=3, seed=0)
+        pat = random_permutation(topo.n_hosts, seed=seed)
+        r = model_throughput(topo, pat, cache)
+        assert (r.per_flow > 0).all()
+        assert (r.per_flow <= 1 + 1e-12).all()
+        assert 0 < r.mean_per_node() <= 1 + 1e-12
+
+
+# ------------------------------------------------------------------ topology
+
+
+class TestMetricsProperties:
+    @given(params=rrg_params, seed=st.integers(0, 2**20))
+    @settings(max_examples=20, deadline=None)
+    def test_apl_bounds(self, params, seed):
+        n, d = params
+        adj = random_regular_graph(n, d, seed=seed)
+        apl = average_shortest_path_length(adj)
+        assert 1.0 <= apl <= n

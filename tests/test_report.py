@@ -1,0 +1,121 @@
+"""Unit tests for ASCII charts and result export."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult
+from repro.report import (
+    bar_chart,
+    line_chart,
+    result_to_csv,
+    result_to_json,
+    save_result,
+)
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment="fig0",
+        title="demo",
+        headers=["scheme", "value"],
+        rows=[["ksp", 0.5], ["redksp", 0.75]],
+        scale="small",
+        notes="n",
+        data={"ksp": {"v": 0.5}, "redksp": {"v": 0.75}},
+    )
+
+
+class TestLineChart:
+    def test_renders_all_series_markers(self):
+        text = line_chart(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]}, width=20, height=6
+        )
+        assert "o" in text and "x" in text
+        assert "legend" in text
+        assert "o=a" in text and "x=b" in text
+
+    def test_extremes_on_grid_edges(self):
+        text = line_chart({"a": [(0, 0), (10, 5)]}, width=20, height=6)
+        lines = [l for l in text.splitlines() if l.startswith("|")]
+        assert lines[0].rstrip()[-1] == "o"   # max y at top-right
+        assert lines[-1][1] == "o"             # min y at bottom-left
+
+    def test_single_point_ok(self):
+        text = line_chart({"a": [(1.0, 2.0)]})
+        assert "o" in text
+
+    def test_title_and_labels(self):
+        text = line_chart(
+            {"a": [(0, 1), (1, 2)]}, title="T", x_label="load", y_label="lat"
+        )
+        assert text.splitlines()[0] == "T"
+        assert "load" in text and "lat" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({})
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": []})
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": [(0, 0)]}, width=2)
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        text = bar_chart({"a": 1.0, "b": 0.5}, width=10)
+        a_line, b_line = text.splitlines()
+        assert a_line.count("█") == 10
+        assert b_line.count("█") == 5
+
+    def test_zero_values(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "█" not in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart({})
+        with pytest.raises(ConfigurationError):
+            bar_chart({"a": -1.0})
+
+
+class TestExport:
+    def test_json_roundtrip(self, result):
+        payload = json.loads(result_to_json(result))
+        assert payload["experiment"] == "fig0"
+        assert payload["rows"][1] == ["redksp", 0.75]
+        assert payload["data"]["ksp"]["v"] == 0.5
+
+    def test_json_handles_numpy(self, result):
+        import numpy as np
+
+        result.data["arr"] = np.arange(3)
+        result.data["scalar"] = np.float64(1.5)
+        payload = json.loads(result_to_json(result))
+        assert payload["data"]["arr"] == [0, 1, 2]
+        assert payload["data"]["scalar"] == 1.5
+
+    def test_csv(self, result):
+        text = result_to_csv(result)
+        lines = text.strip().splitlines()
+        assert lines[0] == "scheme,value"
+        assert lines[2] == "redksp,0.75"
+
+    def test_save_all_formats(self, result, tmp_path):
+        for suffix in (".json", ".csv", ".txt"):
+            p = save_result(result, tmp_path / f"out{suffix}")
+            assert p.exists() and p.read_text()
+
+    def test_save_bad_suffix(self, result, tmp_path):
+        with pytest.raises(ConfigurationError, match="suffix"):
+            save_result(result, tmp_path / "out.xlsx")
+
+    def test_real_experiment_exports(self, tmp_path):
+        from repro.experiments import run_experiment
+
+        r = run_experiment("table1", scale="small", seed=0)
+        payload = json.loads(result_to_json(r))
+        assert payload["experiment"] == "table1"
+        save_result(r, tmp_path / "t1.csv")

@@ -1,0 +1,132 @@
+"""Unit tests for the Jellyfish wrapper (host bookkeeping, link ids)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import Jellyfish
+
+
+class TestConstruction:
+    def test_paper_parameters(self):
+        topo = Jellyfish(36, 24, 16, seed=1)
+        assert topo.n_switches == 36
+        assert topo.ports == 24
+        assert topo.uplinks == 16
+        assert topo.hosts_per_switch == 8
+        assert topo.n_hosts == 288
+
+    def test_adjacency_is_regular(self, small_jellyfish):
+        topo = small_jellyfish
+        assert all(len(nbrs) == topo.uplinks for nbrs in topo.adjacency)
+
+    def test_ports_less_than_uplinks_rejected(self):
+        with pytest.raises(TopologyError, match="ports"):
+            Jellyfish(8, 3, 4)
+
+    def test_uplinks_not_below_n_rejected(self):
+        with pytest.raises(TopologyError, match="uplinks"):
+            Jellyfish(4, 8, 4)
+
+    def test_explicit_adjacency_accepted(self):
+        ring = [[1, 3], [0, 2], [1, 3], [0, 2]]
+        topo = Jellyfish(4, 4, 2, adjacency=ring)
+        assert topo.adjacency == ring
+
+    def test_explicit_adjacency_wrong_degree_rejected(self):
+        with pytest.raises(TopologyError, match="degree"):
+            Jellyfish(4, 4, 2, adjacency=[[1], [0, 2], [1, 3], [2]])
+
+    def test_explicit_adjacency_asymmetric_rejected(self):
+        bad = [[1, 2], [0, 2], [0, 3], [2, 0]]
+        with pytest.raises(TopologyError):
+            Jellyfish(4, 4, 2, adjacency=bad)
+
+    def test_explicit_adjacency_wrong_count_rejected(self):
+        with pytest.raises(TopologyError, match="switches"):
+            Jellyfish(5, 4, 2, adjacency=[[1, 3], [0, 2], [1, 3], [0, 2]])
+
+    def test_seed_reproducibility(self):
+        a = Jellyfish(12, 8, 4, seed=5)
+        b = Jellyfish(12, 8, 4, seed=5)
+        assert a.adjacency == b.adjacency
+
+
+class TestHostMapping:
+    def test_linear_layout(self, small_jellyfish):
+        topo = small_jellyfish
+        for h in range(topo.n_hosts):
+            s = topo.switch_of_host(h)
+            assert h in topo.hosts_of_switch(s)
+
+    def test_hosts_partition(self, small_jellyfish):
+        topo = small_jellyfish
+        seen = set()
+        for s in range(topo.n_switches):
+            hosts = set(topo.hosts_of_switch(s))
+            assert not (hosts & seen)
+            seen |= hosts
+        assert seen == set(range(topo.n_hosts))
+
+    def test_host_out_of_range(self, small_jellyfish):
+        with pytest.raises(TopologyError):
+            small_jellyfish.switch_of_host(small_jellyfish.n_hosts)
+        with pytest.raises(TopologyError):
+            small_jellyfish.switch_of_host(-1)
+
+    def test_switch_out_of_range(self, small_jellyfish):
+        with pytest.raises(TopologyError):
+            small_jellyfish.hosts_of_switch(small_jellyfish.n_switches)
+
+
+class TestLinkIds:
+    def test_switch_link_count(self, small_jellyfish):
+        topo = small_jellyfish
+        assert topo.n_switch_links == topo.n_switches * topo.uplinks
+
+    def test_link_ids_unique_and_dense(self, small_jellyfish):
+        topo = small_jellyfish
+        ids = [topo.link_id(u, v) for u, v in topo.switch_links()]
+        assert sorted(ids) == list(range(topo.n_switch_links))
+
+    def test_directed_ids_differ(self, small_jellyfish):
+        topo = small_jellyfish
+        u, v = next(iter(topo.switch_links()))
+        assert topo.link_id(u, v) != topo.link_id(v, u)
+
+    def test_missing_link_raises(self, small_jellyfish):
+        topo = small_jellyfish
+        # find a non-adjacent pair
+        for v in range(topo.n_switches):
+            if v != 0 and v not in topo.adjacency[0]:
+                with pytest.raises(TopologyError, match="no switch link"):
+                    topo.link_id(0, v)
+                return
+        pytest.skip("graph is complete")
+
+    def test_injection_ejection_ranges(self, small_jellyfish):
+        topo = small_jellyfish
+        inj = [topo.injection_link(h) for h in range(topo.n_hosts)]
+        ej = [topo.ejection_link(h) for h in range(topo.n_hosts)]
+        all_ids = set(range(topo.n_switch_links)) | set(inj) | set(ej)
+        assert len(all_ids) == topo.n_links
+        assert max(all_ids) == topo.n_links - 1
+
+    def test_injection_out_of_range(self, small_jellyfish):
+        with pytest.raises(TopologyError):
+            small_jellyfish.injection_link(-1)
+        with pytest.raises(TopologyError):
+            small_jellyfish.ejection_link(small_jellyfish.n_hosts)
+
+    def test_path_link_ids(self, small_jellyfish):
+        topo = small_jellyfish
+        u = 0
+        v = topo.adjacency[0][0]
+        w = next(x for x in topo.adjacency[v] if x != u)
+        ids = topo.path_link_ids([u, v, w])
+        assert ids == [topo.link_id(u, v), topo.link_id(v, w)]
+
+    def test_undirected_edges_count(self, small_jellyfish):
+        topo = small_jellyfish
+        edges = topo.undirected_edges()
+        assert len(edges) == topo.n_switch_links // 2
+        assert all(u < v for u, v in edges)

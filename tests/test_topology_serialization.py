@@ -1,0 +1,57 @@
+"""Unit tests for topology save/load."""
+
+import json
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    Jellyfish,
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_instance(self, small_jellyfish):
+        doc = topology_to_dict(small_jellyfish)
+        rebuilt = topology_from_dict(doc)
+        assert rebuilt.adjacency == small_jellyfish.adjacency
+        assert rebuilt.n_switches == small_jellyfish.n_switches
+        assert rebuilt.ports == small_jellyfish.ports
+        assert rebuilt.uplinks == small_jellyfish.uplinks
+
+    def test_file_roundtrip(self, small_jellyfish, tmp_path):
+        p = save_topology(small_jellyfish, tmp_path / "topo.json")
+        rebuilt = load_topology(p)
+        assert rebuilt.adjacency == small_jellyfish.adjacency
+
+    def test_link_ids_stable_after_reload(self, small_jellyfish, tmp_path):
+        p = save_topology(small_jellyfish, tmp_path / "topo.json")
+        rebuilt = load_topology(p)
+        for u, v in small_jellyfish.switch_links():
+            assert rebuilt.link_id(u, v) == small_jellyfish.link_id(u, v)
+
+    def test_document_is_plain_json(self, small_jellyfish):
+        doc = topology_to_dict(small_jellyfish)
+        json.dumps(doc)  # must not raise
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(TopologyError, match="format"):
+            topology_from_dict({"format": "other"})
+
+    def test_missing_field_rejected(self, small_jellyfish):
+        doc = topology_to_dict(small_jellyfish)
+        del doc["adjacency"]
+        with pytest.raises(TopologyError, match="missing"):
+            topology_from_dict(doc)
+
+    def test_corrupted_adjacency_rejected(self, small_jellyfish):
+        doc = topology_to_dict(small_jellyfish)
+        doc["adjacency"][0] = doc["adjacency"][0][:-1]  # break regularity
+        with pytest.raises(TopologyError):
+            topology_from_dict(doc)

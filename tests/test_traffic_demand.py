@@ -1,0 +1,74 @@
+"""Unit tests for the switch-level demand helpers."""
+
+import numpy as np
+import pytest
+
+from repro import Jellyfish
+from repro.errors import TrafficError
+from repro.traffic import (
+    all_to_all,
+    pattern_locality,
+    random_permutation,
+    switch_demand_matrix,
+    switch_pair_flows,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Jellyfish(6, 8, 4, seed=2)  # 4 hosts per switch, 24 hosts
+
+
+class TestDemandMatrix:
+    def test_total_preserved(self, topo):
+        pat = random_permutation(topo.n_hosts, seed=1)
+        d = switch_demand_matrix(topo, pat)
+        assert d.sum() == len(pat)
+
+    def test_known_flows(self, topo):
+        # Hosts 0..3 are on switch 0; hosts 4..7 on switch 1.
+        d = switch_demand_matrix(topo, [(0, 4), (1, 5), (2, 3)])
+        assert d[0, 1] == 2
+        assert d[0, 0] == 1
+        assert d.sum() == 3
+
+    def test_all_to_all_uniform_off_diagonal(self, topo):
+        d = switch_demand_matrix(topo, all_to_all(topo.n_hosts))
+        h = topo.hosts_per_switch
+        off = d[~np.eye(topo.n_switches, dtype=bool)]
+        assert (off == h * h).all()
+        assert (np.diag(d) == h * (h - 1)).all()
+
+    def test_empty_rejected(self, topo):
+        with pytest.raises(TrafficError):
+            switch_demand_matrix(topo, [])
+
+
+class TestLocality:
+    def test_all_to_all_locality(self, topo):
+        h = topo.hosts_per_switch
+        n = topo.n_hosts
+        expect = (h - 1) / (n - 1)
+        assert pattern_locality(topo, all_to_all(n)) == pytest.approx(expect)
+
+    def test_fully_local_pattern(self, topo):
+        flows = [(0, 1), (1, 2), (2, 0)]  # all on switch 0
+        assert pattern_locality(topo, flows) == 1.0
+
+    def test_fully_remote_pattern(self, topo):
+        flows = [(0, 4), (4, 8)]
+        assert pattern_locality(topo, flows) == 0.0
+
+
+class TestSwitchPairFlows:
+    def test_excludes_local_by_default(self, topo):
+        pairs = switch_pair_flows(topo, [(0, 1), (0, 4)])
+        assert pairs == [(0, 1)]
+
+    def test_include_local(self, topo):
+        pairs = switch_pair_flows(topo, [(0, 1), (0, 4)], include_local=True)
+        assert pairs == [(0, 0), (0, 1)]
+
+    def test_deduplicates(self, topo):
+        pairs = switch_pair_flows(topo, [(0, 4), (1, 5), (2, 6)])
+        assert pairs == [(0, 1)]

@@ -1,0 +1,132 @@
+"""Unit tests for synthetic traffic patterns."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TrafficError
+from repro.traffic import (
+    all_to_all,
+    random_destinations,
+    random_permutation,
+    random_shift,
+    shift,
+)
+from repro.traffic.patterns import Pattern
+
+
+class TestPatternType:
+    def test_validation_rejects_out_of_range(self):
+        with pytest.raises(TrafficError):
+            Pattern("bad", 4, ((0, 4),))
+        with pytest.raises(TrafficError):
+            Pattern("bad", 4, ((-1, 2),))
+
+    def test_validation_rejects_self_flow(self):
+        with pytest.raises(TrafficError):
+            Pattern("bad", 4, ((2, 2),))
+
+    def test_arrays(self):
+        p = Pattern("ok", 4, ((0, 1), (2, 3)))
+        assert p.sources().tolist() == [0, 2]
+        assert p.destinations().tolist() == [1, 3]
+        assert len(p) == 2
+        assert list(p) == [(0, 1), (2, 3)]
+
+
+class TestRandomPermutation:
+    def test_is_permutation_without_fixed_points(self):
+        for seed in range(8):
+            p = random_permutation(50, seed=seed)
+            dsts = p.destinations()
+            assert sorted(dsts.tolist()) == list(range(50))
+            assert (dsts != np.arange(50)).all()
+            assert len(p) == 50
+
+    def test_each_host_sends_once(self):
+        p = random_permutation(64, seed=1)
+        assert sorted(p.sources().tolist()) == list(range(64))
+
+    def test_reproducible(self):
+        assert random_permutation(30, seed=4).flows == random_permutation(30, seed=4).flows
+
+    def test_two_hosts(self):
+        p = random_permutation(2, seed=0)
+        assert set(p.flows) == {(0, 1), (1, 0)}
+
+    def test_one_host_rejected(self):
+        with pytest.raises(TrafficError):
+            random_permutation(1)
+
+
+class TestShift:
+    def test_shift_formula(self):
+        p = shift(10, 3)
+        assert all(d == (s + 3) % 10 for s, d in p.flows)
+        assert len(p) == 10
+
+    def test_shift_wraps_amount(self):
+        assert shift(10, 13).flows == shift(10, 3).flows
+
+    def test_zero_shift_rejected(self):
+        with pytest.raises(TrafficError):
+            shift(10, 0)
+        with pytest.raises(TrafficError):
+            shift(10, 20)
+
+    def test_random_shift_valid(self):
+        for seed in range(6):
+            p = random_shift(12, seed=seed)
+            amounts = {(d - s) % 12 for s, d in p.flows}
+            assert len(amounts) == 1
+            assert amounts.pop() != 0
+
+    def test_random_shift_covers_different_amounts(self):
+        amounts = {random_shift(40, seed=s).name for s in range(20)}
+        assert len(amounts) > 3
+
+
+class TestRandomDestinations:
+    def test_counts_and_no_self(self):
+        p = random_destinations(20, 5, seed=0)
+        assert len(p) == 20 * 5
+        for s, d in p.flows:
+            assert s != d
+
+    def test_destinations_distinct_per_source(self):
+        p = random_destinations(20, 5, seed=0)
+        by_src = {}
+        for s, d in p.flows:
+            by_src.setdefault(s, []).append(d)
+        for s, dests in by_src.items():
+            assert len(set(dests)) == len(dests) == 5
+
+    def test_full_fanout_equals_all_to_all(self):
+        p = random_destinations(6, 5, seed=0)
+        assert sorted(p.flows) == sorted(all_to_all(6).flows)
+
+    def test_x_too_large_rejected(self):
+        with pytest.raises(TrafficError):
+            random_destinations(6, 6)
+
+    def test_invalid_x_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_destinations(6, 0)
+
+    def test_destination_skew_is_uniform(self):
+        # The skip-over-self sampling must not bias destinations.
+        counts = np.zeros(10)
+        for seed in range(200):
+            p = random_destinations(10, 1, seed=seed)
+            for _, d in p.flows:
+                counts[d] += 1
+        assert counts.min() > counts.max() * 0.6
+
+
+class TestAllToAll:
+    def test_count(self):
+        assert len(all_to_all(8)) == 8 * 7
+
+    def test_every_ordered_pair_once(self):
+        p = all_to_all(5)
+        assert len(set(p.flows)) == 20
+        assert all(s != d for s, d in p.flows)

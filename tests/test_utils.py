@@ -1,0 +1,122 @@
+"""Unit tests for the utility layer (rng, validation, tables, errors)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    InsufficientPathsError,
+    NoPathError,
+    PathError,
+    ReproError,
+    TopologyError,
+)
+from repro.utils import (
+    check_in,
+    check_non_negative,
+    check_positive_int,
+    check_probability,
+    ensure_rng,
+    format_table,
+    spawn_rngs,
+)
+
+
+class TestRng:
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = ensure_rng(5).integers(1000)
+        b = ensure_rng(5).integers(1000)
+        assert a == b
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_spawn_independence(self):
+        rngs = spawn_rngs(7, 3)
+        values = [g.integers(10**9) for g in rngs]
+        assert len(set(values)) == 3
+
+    def test_spawn_reproducible(self):
+        a = [g.integers(10**9) for g in spawn_rngs(7, 3)]
+        b = [g.integers(10**9) for g in spawn_rngs(7, 3)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        rngs = spawn_rngs(np.random.default_rng(1), 2)
+        assert len(rngs) == 2
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestValidation:
+    def test_positive_int_ok(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_positive_int_rejects(self):
+        for bad in (0, -1, 1.5, "2", True):
+            with pytest.raises(ConfigurationError):
+                check_positive_int(bad, "x")
+
+    def test_non_negative(self):
+        assert check_non_negative(0, "x") == 0.0
+        assert check_non_negative(2.5, "x") == 2.5
+        with pytest.raises(ConfigurationError):
+            check_non_negative(-0.1, "x")
+        with pytest.raises(ConfigurationError):
+            check_non_negative("nope", "x")
+
+    def test_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ConfigurationError):
+            check_probability(1.1, "p")
+
+    def test_check_in(self):
+        assert check_in("a", ("a", "b"), "mode") == "a"
+        with pytest.raises(ConfigurationError, match="mode"):
+            check_in("c", ("a", "b"), "mode")
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "v"], [["abc", 1.23456], ["d", 2]], ndigits=2)
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.23" in text and "2" in text
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["a", "b"], [[1]])
+
+    def test_bool_and_str_cells(self):
+        text = format_table(["x"], [[True], ["s"]])
+        assert "True" in text and "s" in text
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (TopologyError, PathError, ConfigurationError):
+            assert issubclass(exc, ReproError)
+
+    def test_no_path_error_message(self):
+        e = NoPathError(3, 9, detail="disconnected")
+        assert "3" in str(e) and "9" in str(e) and "disconnected" in str(e)
+
+    def test_insufficient_paths_carries_payload(self):
+        e = InsufficientPathsError(1, 2, 5, ["p1", "p2"])
+        assert e.requested == 5
+        assert e.found == ["p1", "p2"]
+        assert issubclass(InsufficientPathsError, PathError)
