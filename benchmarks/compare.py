@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Compare two pytest-benchmark JSON exports and flag regressions.
+
+Usage::
+
+    python benchmarks/compare.py NEW.json [BASELINE.json]
+
+With one argument the baseline defaults to the newest ``BENCH_*.json`` in
+this directory other than ``NEW.json`` itself ("newest" by filename sort,
+so name committed baselines ``BENCH_<date>_<seq>_<label>.json``).  Benchmarks are matched by
+name; a benchmark whose mean slows down by more than the threshold (25%
+by default, ``--threshold 0.25``) **and** whose name touches the path-table
+hot paths (Yen, BFS, precompute) fails the comparison — exit status 1 —
+so the perf harness can gate on it:
+
+    PYTHONPATH=src python -m pytest benchmarks/test_micro_perf.py \\
+        --benchmark-json=new.json
+    python benchmarks/compare.py new.json
+
+Other benchmarks are reported but only warn: the experiment-level runs
+are noisy enough that gating on them would flake.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Substrings of benchmark names that are gated (hot-path primitives whose
+#: regressions the fast path-table pipeline exists to prevent).
+GATED = ("yen", "bfs", "precompute")
+
+
+def load_means(path: Path) -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    return {b["name"]: float(b["stats"]["mean"]) for b in doc["benchmarks"]}
+
+
+def default_baseline(new: Path) -> Path | None:
+    here = Path(__file__).parent
+    candidates = sorted(
+        (p for p in here.glob("BENCH_*.json") if p.resolve() != new.resolve()),
+        key=lambda p: p.name,
+    )
+    return candidates[-1] if candidates else None
+
+
+def compare(new_means: dict, base_means: dict, threshold: float):
+    """Yield (name, base_mean, new_mean, ratio, gated) per common benchmark."""
+    for name in sorted(new_means):
+        if name not in base_means:
+            continue
+        base, new = base_means[name], new_means[name]
+        ratio = new / base if base > 0 else float("inf")
+        gated = any(tag in name.lower() for tag in GATED)
+        yield name, base, new, ratio, gated
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("new", type=Path, help="pytest-benchmark JSON to check")
+    parser.add_argument(
+        "baseline", type=Path, nargs="?", default=None,
+        help="baseline JSON (default: newest benchmarks/BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="max allowed slowdown fraction on gated benchmarks (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = args.baseline or default_baseline(args.new)
+    if baseline is None:
+        print("no baseline BENCH_*.json found; nothing to compare", file=sys.stderr)
+        return 2
+
+    new_means = load_means(args.new)
+    base_means = load_means(baseline)
+    print(f"baseline: {baseline}")
+    print(f"new:      {args.new}\n")
+    print(f"{'benchmark':50s} {'base (ms)':>10s} {'new (ms)':>10s} {'ratio':>7s}")
+
+    failures = []
+    for name, base, new, ratio, gated in compare(new_means, base_means, args.threshold):
+        flag = ""
+        if ratio > 1 + args.threshold:
+            flag = " REGRESSION" if gated else " (slower, not gated)"
+            if gated:
+                failures.append((name, ratio))
+        print(f"{name:50s} {base * 1e3:10.2f} {new * 1e3:10.2f} {ratio:7.2f}{flag}")
+
+    missing = sorted(set(base_means) - set(new_means))
+    if missing:
+        print(f"\nnot in new run: {', '.join(missing)}")
+
+    if failures:
+        print(f"\n{len(failures)} gated regression(s) above "
+              f"{100 * args.threshold:.0f}%:", file=sys.stderr)
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print("\nno gated regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

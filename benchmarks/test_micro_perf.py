@@ -52,6 +52,24 @@ def test_perf_edksp_pathcache_warm(benchmark, topo36):
     assert len(cache) == 50
 
 
+def test_perf_precompute_allpairs_rksp(benchmark, topo36):
+    """Warm all-pairs rKSP(8) precompute on RRG(36,24,16).
+
+    The acceptance benchmark of the fast-path pipeline: every pair of the
+    paper's small topology through Yen with randomized tie-breaking.
+    """
+
+    def warm():
+        cache = PathCache(topo36, "rksp", k=8, seed=0)
+        cache.precompute(
+            (s, d) for s in range(36) for d in range(36) if s != d
+        )
+        return cache
+
+    cache = benchmark.pedantic(warm, rounds=2, iterations=1)
+    assert len(cache) == 36 * 35
+
+
 def test_perf_fairshare_waterfill(benchmark):
     """Max-min water-filling: 2000 flows over 500 links."""
     rng = np.random.default_rng(0)

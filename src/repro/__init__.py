@@ -43,6 +43,7 @@ from repro.core import (
     Path,
     PathSet,
     PathCache,
+    PathStore,
     compute_paths,
     make_selector,
     k_shortest_paths,
@@ -72,6 +73,7 @@ __all__ = [
     "Path",
     "PathSet",
     "PathCache",
+    "PathStore",
     "compute_paths",
     "make_selector",
     "k_shortest_paths",

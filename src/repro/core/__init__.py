@@ -7,6 +7,7 @@ path-quality metrics behind Tables II-IV.
 """
 
 from repro.core.path import Path, PathSet
+from repro.core.kernels import GraphKernels, kernels_for
 from repro.core.dijkstra import shortest_path, bfs_levels
 from repro.core.yen import k_shortest_paths
 from repro.core.remove_find import edge_disjoint_paths
@@ -21,6 +22,7 @@ from repro.core.selectors import (
     make_selector,
 )
 from repro.core.cache import PathCache
+from repro.core.store import PathStore, DEFAULT_STORE_DIR
 from repro.core.ecmp import ecmp_paths
 from repro.core.failures import (
     failure_resilience,
@@ -40,6 +42,8 @@ from repro.core.properties import (
 __all__ = [
     "Path",
     "PathSet",
+    "GraphKernels",
+    "kernels_for",
     "shortest_path",
     "bfs_levels",
     "k_shortest_paths",
@@ -53,6 +57,8 @@ __all__ = [
     "RandomizedEdgeDisjointKSPSelector",
     "LLSKRSelector",
     "PathCache",
+    "PathStore",
+    "DEFAULT_STORE_DIR",
     "ecmp_paths",
     "failure_resilience",
     "pair_survives",

@@ -6,17 +6,30 @@ and memoised.  Randomized selectors get a *per-pair* generator derived from
 ``(master seed, source, destination)``; this makes the cached paths a pure
 function of (topology, scheme, k, seed) — independent of which pairs are
 requested, or in what order, or whether the cache was warmed before.
+
+That purity is what the fast-path pipeline exploits:
+
+- :meth:`PathCache.precompute_parallel` shards a pair list across a
+  process pool — each worker rebuilds the topology once (via an
+  initializer, not per task) and computes its shard with the same per-pair
+  seeding, so the merged result is byte-identical to a serial warm;
+- :meth:`PathCache.warm` composes the whole pipeline: load persisted
+  tables from a :class:`~repro.core.store.PathStore`, compute whatever is
+  missing (optionally in parallel), and persist the union back.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.path import PathSet
 from repro.core.selectors import PathSelector, make_selector
+from repro.errors import ConfigurationError
 from repro.topology.jellyfish import Jellyfish
+from repro.topology.serialization import topology_from_dict, topology_to_dict
 from repro.utils.validation import check_positive_int
 
 __all__ = ["PathCache"]
@@ -56,6 +69,9 @@ class PathCache:
         self.k = k
         self.seed = 0 if seed is None else int(seed)
         self._store: Dict[Tuple[int, int], PathSet] = {}
+        # All selections run on the topology's shared BFS kernels, so the
+        # per-source level fields are computed once across every pair.
+        self._graph = topology.kernels
 
     def _pair_rng(self, source: int, destination: int) -> np.random.Generator:
         return np.random.default_rng(
@@ -71,7 +87,7 @@ class PathCache:
         if found is None:
             rng = self._pair_rng(source, destination) if self.selector.randomized else None
             found = self.selector.select(
-                self.topology.adjacency, source, destination, self.k, rng
+                self._graph, source, destination, self.k, rng
             )
             self._store[key] = found
         return found
@@ -81,11 +97,89 @@ class PathCache:
         for s, d in pairs:
             self.get(s, d)
 
+    def precompute_parallel(
+        self,
+        pairs: Iterable[Tuple[int, int]],
+        processes: int = 1,
+        chunksize: Optional[int] = None,
+    ) -> int:
+        """Warm the cache for ``pairs`` across ``processes`` workers.
+
+        Each worker receives the topology document, selector, ``k`` and
+        master seed exactly once through a pool initializer, then computes
+        pair shards; because every pair's RNG derives from
+        ``(seed, source, destination)``, the merged result is byte-identical
+        to :meth:`precompute` whatever the worker count, shard boundaries,
+        or completion order.  Returns the number of newly computed pairs.
+
+        ``processes=1`` runs inline (no pool, no pickling).
+        """
+        if processes < 1:
+            raise ConfigurationError(f"processes must be >= 1, got {processes}")
+        missing = sorted(
+            {
+                (int(s), int(d))
+                for s, d in pairs
+                if (int(s), int(d)) not in self._store
+            }
+        )
+        if not missing:
+            return 0
+        if processes == 1 or len(missing) < 2 * processes:
+            self.precompute(missing)
+            return len(missing)
+
+        if chunksize is None:
+            chunksize = max(1, len(missing) // (4 * processes))
+        shards = [
+            missing[i : i + chunksize]
+            for i in range(0, len(missing), chunksize)
+        ]
+        initargs = (
+            topology_to_dict(self.topology), self.selector, self.k, self.seed,
+        )
+        with ProcessPoolExecutor(
+            max_workers=processes,
+            initializer=_precompute_worker_init,
+            initargs=initargs,
+        ) as pool:
+            for shard_result in pool.map(_precompute_worker_run, shards):
+                self._store.update(shard_result)
+        return len(missing)
+
+    def warm(
+        self,
+        pairs: Optional[Iterable[Tuple[int, int]]] = None,
+        *,
+        processes: int = 1,
+        store=None,
+    ) -> int:
+        """The full path-table pipeline: load, compute missing, persist.
+
+        With ``store`` (a :class:`~repro.core.store.PathStore`), previously
+        persisted tables for this exact ``(topology, scheme, k, seed)`` are
+        imported first — a warm run that finds everything on disk never
+        touches Yen at all — and any newly computed pairs are saved back.
+        ``pairs=None`` means every ordered switch pair (all-pairs studies).
+        Returns the number of pairs computed fresh.
+        """
+        if pairs is None:
+            n = self.topology.n_switches
+            pairs = [(s, d) for s in range(n) for d in range(n) if s != d]
+        else:
+            pairs = list(pairs)
+        if store is not None:
+            store.load(self)
+        computed = self.precompute_parallel(pairs, processes=processes)
+        if store is not None and computed:
+            store.save(self)
+        return computed
+
     def all_pairs(self) -> Iterable[PathSet]:
         """Compute and yield PathSets for every ordered switch pair.
 
-        Intended for path-quality studies (Tables II-IV); cost grows as
-        N*(N-1) Yen invocations, so use reduced topologies where possible.
+        Intended for path-quality studies (Tables II-IV); warm the cache
+        with :meth:`warm` first to reuse persisted tables and worker pools.
         """
         n = self.topology.n_switches
         for s in range(n):
@@ -111,3 +205,23 @@ class PathCache:
 
     def __contains__(self, pair: Tuple[int, int]) -> bool:
         return pair in self._store
+
+
+# -------------------------------------------------------- pool plumbing
+#: Per-worker state built once by the pool initializer (the topology and
+#: its kernels are ~megabytes; shipping them per task tuple was the seed
+#: implementation's dominant serialization cost).
+_WORKER_CACHE: List[Optional[PathCache]] = [None]
+
+
+def _precompute_worker_init(topo_doc, selector, k, seed) -> None:
+    _WORKER_CACHE[0] = PathCache(
+        topology_from_dict(topo_doc), selector, k=k, seed=seed
+    )
+
+
+def _precompute_worker_run(
+    pairs: Sequence[Tuple[int, int]],
+) -> Dict[Tuple[int, int], PathSet]:
+    cache = _WORKER_CACHE[0]
+    return {(s, d): cache.get(s, d) for s, d in pairs}

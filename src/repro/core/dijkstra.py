@@ -14,15 +14,21 @@ the paper turns:
 
 Both honour banned nodes and banned *directed* edges, which is what Yen's
 algorithm and the Remove-Find edge-disjoint method need.
+
+The BFS itself runs on the shared kernels of :mod:`repro.core.kernels`:
+ban-free distance fields are computed once per source and shared across
+destinations and callers, banned spur searches use the bitset kernel, and
+results are bit-identical to a per-query Python BFS.  ``adj`` may be plain
+adjacency lists or an existing :class:`~repro.core.kernels.GraphKernels`.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import AbstractSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.kernels import GraphKernels, ban_masks, kernels_for
 from repro.errors import ConfigurationError
 from repro.utils.rng import SeedLike, ensure_rng
 
@@ -42,24 +48,15 @@ def bfs_levels(
     ``banned_edges`` contains *directed* pairs; an undirected ban needs both
     orientations.
     """
-    n = len(adj)
-    dist = np.full(n, -1, dtype=np.int64)
+    kernels = kernels_for(adj)
     if source in banned_nodes:
-        return dist
-    dist[source] = 0
-    queue = deque([source])
-    check_edges = bool(banned_edges)
-    while queue:
-        u = queue.popleft()
-        du = dist[u] + 1
-        for v in adj[u]:
-            if dist[v] >= 0 or v in banned_nodes:
-                continue
-            if check_edges and (u, v) in banned_edges:
-                continue
-            dist[v] = du
-            queue.append(v)
-    return dist
+        return np.full(len(kernels), -1, dtype=np.int64)
+    if banned_nodes or banned_edges:
+        banned_out, _ = ban_masks(banned_edges)
+        field = kernels.field_banned(source, banned_nodes, banned_out)
+    else:
+        field = kernels.field(source)
+    return np.asarray(field.dist, dtype=np.int64)
 
 
 def shortest_path(
@@ -94,36 +91,19 @@ def shortest_path(
     if source in banned_nodes or destination in banned_nodes:
         return None
 
-    dist = bfs_levels(adj, source, banned_nodes, banned_edges)
-    if dist[destination] < 0:
+    kernels = kernels_for(adj)
+    if banned_nodes or banned_edges:
+        banned_out, banned_in = ban_masks(banned_edges)
+        field = kernels.field_banned(
+            source, banned_nodes, banned_out, until=destination
+        )
+    else:
+        banned_in = None
+        field = kernels.field(source)
+    if field.dist[destination] < 0:
         return None
-
-    # Backwalk from the destination: at node v pick a predecessor u with
-    # dist[u] == dist[v] - 1 and a usable edge u -> v.
-    check_edges = bool(banned_edges)
-    generator = ensure_rng(rng) if tie == "random" else None
-    path = [destination]
-    v = destination
-    while v != source:
-        target = dist[v] - 1
-        candidates = []
-        for u in adj[v]:
-            if dist[u] != target or u in banned_nodes:
-                continue
-            if check_edges and (u, v) in banned_edges:
-                continue
-            if tie == "min":
-                # adj is sorted, so the first candidate is the smallest id.
-                candidates.append(u)
-                break
-            candidates.append(u)
-        if not candidates:  # pragma: no cover - dist field guarantees one
-            return None
-        if tie == "min":
-            u = candidates[0]
-        else:
-            u = int(candidates[int(generator.integers(len(candidates)))])
-        path.append(u)
-        v = u
-    path.reverse()
-    return path
+    if tie == "min":
+        return kernels.backwalk_min(field, source, destination, banned_in)
+    return kernels.backwalk_random(
+        field, source, destination, banned_in, ensure_rng(rng)
+    )

@@ -35,6 +35,18 @@ class Path:
     def __setattr__(self, name, value):  # immutability guard
         raise AttributeError("Path is immutable")
 
+    @classmethod
+    def _from_trusted(cls, nodes: Tuple[int, ...]) -> "Path":
+        """Wrap an already-validated node tuple without re-checking it.
+
+        Only for internal callers (the path kernels) whose construction
+        guarantees a non-empty, loop-free tuple of Python ints; skipping
+        validation keeps Path creation off the Yen hot path's profile.
+        """
+        path = object.__new__(cls)
+        object.__setattr__(path, "nodes", nodes)
+        return path
+
     def __reduce__(self):
         # The immutability guard breaks pickle's default slot restore;
         # rebuild through the constructor instead (needed to ship path

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List, Sequence, Set, Tuple
 
 from repro.core.dijkstra import shortest_path
+from repro.core.kernels import kernels_for
 from repro.core.path import Path
 from repro.errors import InsufficientPathsError, NoPathError
 from repro.utils.rng import SeedLike, ensure_rng
@@ -43,16 +44,20 @@ def edge_disjoint_paths(
     check_in(tie, ("min", "random"), "tie")
     check_in(on_shortfall, ("truncate", "error"), "on_shortfall")
     generator = ensure_rng(rng) if tie == "random" else None
+    kernels = kernels_for(adj)
 
     paths: List[Path] = []
     banned: Set[Tuple[int, int]] = set()
     for _ in range(k):
+        # The first round is ban-free and reads the shared per-source
+        # level field; later rounds run banned bitset BFS sweeps.
         nodes = shortest_path(
-            adj, source, destination, tie=tie, rng=generator, banned_edges=banned
+            kernels, source, destination, tie=tie, rng=generator,
+            banned_edges=banned,
         )
         if nodes is None:
             break
-        path = Path(nodes)
+        path = Path._from_trusted(tuple(nodes))
         paths.append(path)
         if source == destination:
             break  # only one trivial path exists

@@ -22,7 +22,7 @@ reproducible no matter the evaluation order.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Type
+from typing import Dict, List, Sequence, Tuple, Type
 
 from repro.core.ecmp import ecmp_paths
 from repro.core.llskr import llskr_paths
@@ -64,6 +64,14 @@ class PathSelector:
         rng: SeedLike = None,
     ) -> PathSet:
         raise NotImplementedError
+
+    def signature(self) -> Tuple:
+        """A stable, JSON-able identity tuple for persistence keys.
+
+        Subclasses with constructor knobs that change the produced paths
+        must extend this — the persistent path store hashes it.
+        """
+        return (self.name,)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -124,6 +132,9 @@ class LLSKRSelector(PathSelector):
     def __init__(self, spread: int = 1, k_min: int | None = None):
         self.spread = spread
         self.k_min = k_min
+
+    def signature(self) -> Tuple:
+        return (self.name, self.spread, self.k_min)
 
     def select(self, adj, source, destination, k, rng=None) -> PathSet:
         # ``k`` acts as LLSKR's k_max; k_min defaults to half of it.

@@ -1,0 +1,153 @@
+"""Persistent on-disk path-table store.
+
+Path tables are a pure function of ``(topology, scheme, k, seed)`` — the
+:class:`~repro.core.cache.PathCache` contract — so repeated experiment runs
+can skip Yen's algorithm entirely by persisting the computed
+:class:`~repro.core.path.PathSet`\\ s between processes.  The store keys
+each table by a SHA-256 content hash of the exact topology document, the
+selector signature, ``k``, and the master seed; any change to any of them
+lands in a different file, so stale tables can never be served.
+
+Robustness rules:
+
+- **versioned format** — files carry a format tag and their own key; a
+  mismatch (old version, renamed file, foreign content) reads as a miss;
+- **corruption-safe load** — any unreadable, truncated, or structurally
+  invalid file is ignored with a warning and the paths are recomputed;
+  loading never raises;
+- **atomic save** — writes go to a temp file first and ``os.replace`` into
+  place, so a crashed writer cannot leave a half-written table behind;
+  saves merge with previously persisted entries, so partial warms
+  (pair-sampled experiments) accumulate instead of clobbering each other.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import warnings
+from pathlib import Path as FsPath
+from typing import Dict, Optional, Tuple
+
+from repro.core.path import Path, PathSet
+from repro.topology.serialization import topology_to_dict
+
+__all__ = ["PathStore", "DEFAULT_STORE_DIR"]
+
+_FORMAT = "repro-pathstore-v1"
+
+#: Default store location; override with the ``REPRO_PATH_STORE`` env var.
+DEFAULT_STORE_DIR = FsPath(
+    os.environ.get(
+        "REPRO_PATH_STORE",
+        str(FsPath.home() / ".cache" / "repro" / "path-tables"),
+    )
+)
+
+
+class PathStore:
+    """A directory of persisted path tables, one gzipped JSON file per key.
+
+    Use through :meth:`repro.core.cache.PathCache.warm` for the full
+    load -> compute-missing -> persist pipeline, or drive ``load``/``save``
+    directly.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = FsPath(root)
+
+    @classmethod
+    def default(cls) -> "PathStore":
+        """The store at :data:`DEFAULT_STORE_DIR` (``REPRO_PATH_STORE``)."""
+        return cls(DEFAULT_STORE_DIR)
+
+    # ------------------------------------------------------------- keys
+    def cache_key(self, cache) -> str:
+        """Content hash identifying ``cache``'s path table.
+
+        Covers the exact adjacency (not just RRG parameters), the selector
+        signature (scheme name plus any constructor knobs), ``k`` and the
+        master seed — everything the cached PathSets are a function of.
+        """
+        doc = {
+            "format": _FORMAT,
+            "topology": topology_to_dict(cache.topology),
+            "scheme": list(cache.selector.signature()),
+            "k": cache.k,
+            "seed": cache.seed,
+        }
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+    def file_for(self, cache) -> FsPath:
+        """The store file that holds (or would hold) ``cache``'s table."""
+        return self.root / f"paths-{self.cache_key(cache)}.json.gz"
+
+    # ----------------------------------------------------------- load/save
+    def load(self, cache) -> int:
+        """Merge persisted PathSets for ``cache``'s key into the cache.
+
+        Returns the number of imported pairs; 0 on miss or on any form of
+        corruption (never raises — the caller just recomputes).
+        """
+        entries = self._read_entries(self.file_for(cache), self.cache_key(cache))
+        if entries:
+            cache.import_state(entries)
+        return len(entries)
+
+    def save(self, cache) -> FsPath:
+        """Persist ``cache``'s PathSets, merged with prior entries, atomically."""
+        key = self.cache_key(cache)
+        target = self.file_for(cache)
+        entries = self._read_entries(target, key)
+        entries.update(cache.export_state())
+        doc = {
+            "format": _FORMAT,
+            "key": key,
+            "entries": [
+                [s, d, [list(p.nodes) for p in ps]]
+                for (s, d), ps in sorted(entries.items())
+            ],
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as raw:
+                # mtime=0 keeps the bytes a pure function of the content.
+                with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as fh:
+                    fh.write(
+                        json.dumps(doc, separators=(",", ":")).encode("ascii")
+                    )
+            os.replace(tmp, target)
+        finally:
+            if tmp.exists():  # pragma: no cover - crash-path hygiene
+                tmp.unlink()
+        return target
+
+    def _read_entries(
+        self, path: FsPath, expected_key: str
+    ) -> Dict[Tuple[int, int], PathSet]:
+        try:
+            with gzip.open(path, "rt", encoding="ascii") as fh:
+                doc = json.load(fh)
+            if doc.get("format") != _FORMAT or doc.get("key") != expected_key:
+                return {}
+            out: Dict[Tuple[int, int], PathSet] = {}
+            for s, d, paths in doc["entries"]:
+                # Path/PathSet constructors re-validate loop-freeness,
+                # endpoints and duplicates, so corrupted entries raise and
+                # the whole file is discarded below.
+                out[(int(s), int(d))] = PathSet(
+                    int(s), int(d), [Path(nodes) for nodes in paths]
+                )
+            return out
+        except FileNotFoundError:
+            return {}
+        except Exception as exc:  # corruption-safe: recompute, never crash
+            warnings.warn(
+                f"ignoring unreadable path-store file {path}: {exc!r}",
+                stacklevel=2,
+            )
+            return {}

@@ -6,20 +6,34 @@ tie-breaking BFS from :mod:`repro.core.dijkstra`; passing ``tie="random"``
 yields the paper's rKSP (both the spur search *and* the selection among
 equal-length candidates in ``B`` are randomized, so no systematic node-id
 bias survives).
+
+Two fast-path measures keep the spur loop cheap without changing a single
+emitted path or RNG draw:
+
+- the ban-free first path reads the shared per-source level field of
+  :mod:`repro.core.kernels` (one BFS per source for *all* destinations);
+- repeated ``(spur, bans)`` queries inside one invocation are memoised.
+  Deterministic runs reuse the finished spur path outright; randomized
+  runs reuse only the BFS *distance field* and re-run the backwalk, so the
+  RNG consumes exactly the draws the seed implementation would.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.dijkstra import shortest_path
+from repro.core.kernels import LevelField, ban_masks, kernels_for
 from repro.core.path import Path
 from repro.errors import InsufficientPathsError, NoPathError
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_in, check_positive_int
 
 __all__ = ["k_shortest_paths"]
+
+#: Memo sentinel distinguishing "never queried" from "unreachable".
+_UNSEEN = object()
 
 
 def k_shortest_paths(
@@ -46,8 +60,9 @@ def k_shortest_paths(
     check_in(tie, ("min", "random"), "tie")
     check_in(on_shortfall, ("truncate", "error"), "on_shortfall")
     generator = ensure_rng(rng) if tie == "random" else None
+    kernels = kernels_for(adj)
 
-    first = shortest_path(adj, source, destination, tie=tie, rng=generator)
+    first = shortest_path(kernels, source, destination, tie=tie, rng=generator)
     if first is None:
         raise NoPathError(source, destination)
 
@@ -63,6 +78,8 @@ def k_shortest_paths(
     # the vanilla algorithm); randomized runs use a uniform draw.
     heap: List[Tuple[int, object, Tuple[int, ...]]] = []
     seen_candidates = {tuple(first)}
+    # (spur, bans) -> spur path (deterministic) or BFS field (randomized).
+    spur_memo: Dict[tuple, object] = {}
 
     def push_candidate(nodes: Tuple[int, ...]) -> None:
         if nodes in seen_candidates:
@@ -73,6 +90,44 @@ def k_shortest_paths(
         else:
             entry = (len(nodes) - 1, float(generator.random()), nodes)
         heapq.heappush(heap, entry)
+
+    def spur_query(
+        spur: int,
+        banned_nodes: frozenset,
+        banned_edges: frozenset,
+    ) -> Optional[List[int]]:
+        """Shortest spur -> destination path under the bans (or ``None``)."""
+        key = (spur, banned_nodes, banned_edges)
+        hit = spur_memo.get(key, _UNSEEN)
+        if tie == "min":
+            if hit is not _UNSEEN:
+                return hit
+            nodes = shortest_path(
+                kernels, spur, destination, tie="min",
+                banned_nodes=banned_nodes, banned_edges=banned_edges,
+            )
+            spur_memo[key] = nodes
+            return nodes
+        # Randomized: the BFS field is deterministic and reusable, the
+        # backwalk is not — rerun it so the RNG stream matches a full
+        # recomputation exactly.
+        if hit is None:
+            return None
+        banned_out, banned_in = ban_masks(banned_edges)
+        if hit is _UNSEEN:
+            field = kernels.field_banned(
+                spur, banned_nodes, banned_out, until=destination
+            )
+            if field.dist[destination] < 0:
+                spur_memo[key] = None
+                return None
+            spur_memo[key] = field
+        else:
+            field = hit
+        assert isinstance(field, LevelField)
+        return kernels.backwalk_random(
+            field, spur, destination, banned_in, generator
+        )
 
     while len(accepted) < k:
         prev = accepted[-1].nodes
@@ -85,22 +140,15 @@ def k_shortest_paths(
             for p in accepted:
                 if p.nodes[: j + 1] == root and len(p.nodes) > j + 1:
                     banned_edges.add((p.nodes[j], p.nodes[j + 1]))
-            banned_nodes = set(root[:-1])
-            spur_path = shortest_path(
-                adj,
-                spur,
-                destination,
-                tie=tie,
-                rng=generator,
-                banned_nodes=banned_nodes,
-                banned_edges=banned_edges,
+            spur_path = spur_query(
+                spur, frozenset(root[:-1]), frozenset(banned_edges)
             )
             if spur_path is not None:
                 push_candidate(root[:-1] + tuple(spur_path))
         if not heap:
             break
         _, _, nodes = heapq.heappop(heap)
-        accepted.append(Path(nodes))
+        accepted.append(Path._from_trusted(nodes))
 
     if len(accepted) < k and on_shortfall == "error":
         raise InsufficientPathsError(source, destination, k, accepted)

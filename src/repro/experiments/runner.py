@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import inspect
 from typing import Callable, Dict
 
 from repro.errors import ConfigurationError
@@ -46,15 +47,32 @@ PAPER_EXPERIMENTS = tuple(
 )
 
 
-def run_experiment(name: str, scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Run one experiment by id (``"table1"`` ... ``"fig13"``)."""
+def run_experiment(
+    name: str,
+    scale: str = "small",
+    seed: int = 0,
+    processes: int = 1,
+    path_store=None,
+) -> ExperimentResult:
+    """Run one experiment by id (``"table1"`` ... ``"fig13"``).
+
+    ``processes`` and ``path_store`` feed the fast path-table pipeline
+    (parallel precompute + persistent tables) and are forwarded only to
+    drivers that accept them; results are identical either way.
+    """
     try:
         driver = EXPERIMENTS[name]
     except KeyError:
         raise ConfigurationError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
-    return driver(scale=scale, seed=seed)
+    kwargs = {"scale": scale, "seed": seed}
+    accepted = inspect.signature(driver).parameters
+    if "processes" in accepted:
+        kwargs["processes"] = processes
+    if "path_store" in accepted:
+        kwargs["path_store"] = path_store
+    return driver(**kwargs)
 
 
 def main(argv=None) -> int:
@@ -70,15 +88,43 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", choices=SCALES, default="small")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="worker processes for path-table precompute (default: 1)",
+    )
+    parser.add_argument(
+        "--path-store",
+        nargs="?",
+        const="default",
+        default=None,
+        metavar="DIR",
+        help="persist path tables; with no DIR, uses the default store "
+        "(REPRO_PATH_STORE or ~/.cache/repro/path-tables)",
+    )
+    parser.add_argument(
         "--export-dir",
         default=None,
         help="also write <experiment>.json and <experiment>.csv here",
     )
     args = parser.parse_args(argv)
 
+    store = None
+    if args.path_store is not None:
+        from repro.core.store import PathStore
+
+        store = (
+            PathStore.default()
+            if args.path_store == "default"
+            else PathStore(args.path_store)
+        )
+
     names = list(EXPERIMENTS) if "all" in args.experiment else args.experiment
     for name in names:
-        result = run_experiment(name, scale=args.scale, seed=args.seed)
+        result = run_experiment(
+            name, scale=args.scale, seed=args.seed,
+            processes=args.processes, path_store=store,
+        )
         print(result.to_text())
         print()
         if args.export_dir is not None:

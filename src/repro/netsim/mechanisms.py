@@ -207,8 +207,10 @@ class VanillaUgalMechanism(RoutingMechanism):
         key = (a, b)
         found = self._sp.get(key)
         if found is None:
+            # The topology's shared kernels reuse per-source BFS fields
+            # across destinations (and across the PathCache warm).
             found = tuple(
-                shortest_path(self.wiring.topology.adjacency, a, b, tie="min")
+                shortest_path(self.wiring.topology.kernels, a, b, tie="min")
             )
             self._sp[key] = found
         return found

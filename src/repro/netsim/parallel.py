@@ -6,20 +6,22 @@ minutes of pure-Python work, so a process pool gives near-linear speedup
 on a multicore machine.  This module runs a *grid* of saturation sweeps in
 parallel:
 
-- the topology is shipped once per worker as its JSON document;
-- warmed path tables are shipped as PathSet snapshots (Yen's algorithm
-  runs once, in the parent);
+- the topology document and the warmed per-scheme path tables are shipped
+  **once per worker** through the pool initializer — not once per task —
+  so task tuples stay a few hundred bytes and the pool's IPC cost is
+  independent of the grid size (Yen's algorithm still runs once, in the
+  parent);
 - each grid cell gets an independent, deterministic random stream derived
   from (master seed, cell index), so results are identical whatever the
-  worker count or completion order — including ``processes=1``, which
-  runs inline and is what the test suite exercises deterministically.
+  worker count, chunking, or completion order — including ``processes=1``,
+  which runs inline and is what the test suite exercises deterministically.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,18 +47,32 @@ class GridCell:
     throughput: float
 
 
-def _run_cell(args) -> GridCell:
-    """Worker: rebuild state and run one saturation sweep."""
-    (
-        topo_doc, scheme, k, cache_seed, state, mechanism,
-        pattern_index, pattern_flows, n_hosts, rates, config, cell_seed,
-    ) = args
+# Per-worker state built once by the pool initializer: the rebuilt topology
+# and one warmed PathCache per scheme.
+_GRID_STATE: List[Optional[Tuple[Jellyfish, Dict[str, PathCache]]]] = [None]
+
+
+def _grid_init(topo_doc, k, cache_seed, states) -> None:
+    """Pool initializer: rebuild the topology and warmed caches once."""
     topology = topology_from_dict(topo_doc)
-    cache = PathCache(topology, scheme, k=k, seed=cache_seed)
-    cache.import_state(state)
+    caches: Dict[str, PathCache] = {}
+    for scheme, state in states.items():
+        cache = PathCache(topology, scheme, k=k, seed=cache_seed)
+        cache.import_state(state)
+        caches[scheme] = cache
+    _GRID_STATE[0] = (topology, caches)
+
+
+def _run_cell(args) -> GridCell:
+    """Worker: run one saturation sweep against the initializer's state."""
+    (
+        scheme, mechanism, pattern_index, pattern_flows, n_hosts,
+        rates, config, cell_seed,
+    ) = args
+    topology, caches = _GRID_STATE[0]
     pattern = Pattern("grid", n_hosts, pattern_flows)
     th, _ = saturation_throughput(
-        topology, cache, mechanism, PatternTraffic(pattern),
+        topology, caches[scheme], mechanism, PatternTraffic(pattern),
         rates=rates, config=config, seed=np.random.SeedSequence(cell_seed),
     )
     return GridCell(scheme, mechanism, pattern_index, th)
@@ -109,18 +125,25 @@ def run_saturation_grid(
             for i, pattern in enumerate(patterns):
                 tasks.append(
                     (
-                        topo_doc, scheme, k, seed, states[scheme], mechanism,
-                        i, pattern.flows, pattern.n_hosts,
+                        scheme, mechanism, i, pattern.flows, pattern.n_hosts,
                         tuple(rates), config, (seed, cell),
                     )
                 )
                 cell += 1
 
+    initargs = (topo_doc, k, seed, states)
     if processes == 1:
-        cells = [_run_cell(t) for t in tasks]
+        _grid_init(*initargs)
+        try:
+            cells = [_run_cell(t) for t in tasks]
+        finally:
+            _GRID_STATE[0] = None
     else:
-        with ProcessPoolExecutor(max_workers=processes) as pool:
-            cells = list(pool.map(_run_cell, tasks))
+        with ProcessPoolExecutor(
+            max_workers=processes, initializer=_grid_init, initargs=initargs,
+        ) as pool:
+            chunksize = max(1, len(tasks) // (4 * processes))
+            cells = list(pool.map(_run_cell, tasks, chunksize=chunksize))
 
     out: Dict[Tuple[str, str], List[float]] = {}
     for c in cells:

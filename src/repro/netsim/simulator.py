@@ -61,6 +61,11 @@ class UniformTraffic:
         d = int(rng.integers(self.n_hosts - 1))
         return d if d < src else d + 1
 
+    def dests(self, srcs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Batched :meth:`dest`: one vectorized draw for a whole cycle."""
+        d = rng.integers(self.n_hosts - 1, size=len(srcs))
+        return d + (d >= srcs)
+
     def switch_pairs(self, topology: Jellyfish) -> List[Tuple[int, int]]:
         n = topology.n_switches
         return [(s, d) for s in range(n) for d in range(n) if s != d]
@@ -80,6 +85,17 @@ class PatternTraffic:
             self._dests.setdefault(s, []).append(d)
         if not self._dests:
             raise TrafficError("pattern has no flows")
+        # Flattened destination lists indexed by source host, so a whole
+        # cycle's destinations come out of one vectorized draw.
+        n = pattern.n_hosts
+        self._counts = np.zeros(n, dtype=np.int64)
+        self._offsets = np.zeros(n, dtype=np.int64)
+        flat: List[int] = []
+        for h in sorted(self._dests):
+            self._offsets[h] = len(flat)
+            self._counts[h] = len(self._dests[h])
+            flat.extend(self._dests[h])
+        self._flat = np.asarray(flat, dtype=np.int64)
 
     def sources(self) -> np.ndarray:
         return np.asarray(sorted(self._dests), dtype=np.int64)
@@ -89,6 +105,12 @@ class PatternTraffic:
         if len(dests) == 1:
             return dests[0]
         return dests[int(rng.integers(len(dests)))]
+
+    def dests(self, srcs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Batched :meth:`dest` for sources drawn from :meth:`sources`."""
+        counts = self._counts[srcs]
+        idx = rng.integers(counts)  # per-element upper bounds
+        return self._flat[self._offsets[srcs] + idx]
 
     def switch_pairs(self, topology: Jellyfish) -> List[Tuple[int, int]]:
         pairs = {
@@ -257,15 +279,18 @@ class Simulator:
     def _inject(self, now: int) -> None:
         hosts = self.active_hosts
         draws = self.rng.random(len(hosts)) < self.rate
-        if draws.any():
-            for h in hosts[draws]:
-                h = int(h)
-                q = self.source_q.get(h)
-                if q is None:
-                    q = deque()
-                    self.source_q[h] = q
-                q.append((now, self.traffic.dest(h, self.rng)))
-                self.injected += 1
+        if not draws.any():
+            return
+        srcs = hosts[draws]
+        # One vectorized draw covers every injecting host this cycle.
+        dsts = self.traffic.dests(srcs, self.rng)
+        for h, dst in zip(srcs.tolist(), dsts.tolist()):
+            q = self.source_q.get(h)
+            if q is None:
+                q = deque()
+                self.source_q[h] = q
+            q.append((now, dst))
+        self.injected += len(srcs)
 
     def _launch_from_sources(self, now: int) -> None:
         cfg = self.config

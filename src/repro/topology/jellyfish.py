@@ -100,6 +100,33 @@ class Jellyfish:
         self.ejection_link_base = self.n_switch_links + self.n_hosts
         self.n_links = self.n_switch_links + 2 * self.n_hosts
         self._links = links
+        self._kernels = None
+
+    # -------------------------------------------------------------- kernels
+    @property
+    def kernels(self):
+        """Shared BFS kernels for the switch graph (built lazily, reused).
+
+        The returned :class:`~repro.core.kernels.GraphKernels` carries the
+        CSR export, the bitset neighbour masks, and the per-source level
+        field cache every path query on this instance shares.  It also
+        implements the sequence protocol, so it substitutes for
+        ``self.adjacency`` anywhere an adjacency is accepted.
+        """
+        if self._kernels is None:
+            # Imported here: repro.core packages pull in this module.
+            from repro.core.kernels import GraphKernels
+
+            self._kernels = GraphKernels(self.adjacency)
+        return self._kernels
+
+    def csr_arrays(self):
+        """The switch graph in CSR form: ``(indptr, indices)`` int64 arrays.
+
+        ``indices[indptr[u]:indptr[u+1]]`` are the (sorted) neighbours of
+        switch ``u`` — the layout the vectorized BFS kernels consume.
+        """
+        return self.kernels.csr()
 
     # ------------------------------------------------------------------ ids
     def switch_of_host(self, host: int) -> int:

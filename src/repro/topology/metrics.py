@@ -8,7 +8,6 @@ paper-scale RRG(2880, 48, 38) can be characterised in seconds.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Dict, List, Sequence
 
 import numpy as np
@@ -26,18 +25,11 @@ __all__ = [
 
 def bfs_distances(adj: Sequence[Sequence[int]], source: int) -> np.ndarray:
     """Hop distances from ``source`` to every node (-1 if unreachable)."""
-    n = len(adj)
-    dist = np.full(n, -1, dtype=np.int64)
-    dist[source] = 0
-    queue = deque([source])
-    while queue:
-        u = queue.popleft()
-        du = dist[u] + 1
-        for v in adj[u]:
-            if dist[v] < 0:
-                dist[v] = du
-                queue.append(v)
-    return dist
+    # Deferred import: repro.core lazily imports topology modules, so a
+    # module-level import here would be circular.
+    from repro.core.kernels import kernels_for
+
+    return np.asarray(kernels_for(adj).field(source).dist, dtype=np.int64)
 
 
 def _sources(n: int, sample: int | None, seed: SeedLike) -> List[int]:
