@@ -29,8 +29,9 @@ import sys
 from pathlib import Path
 
 #: Substrings of benchmark names that are gated (hot-path primitives whose
-#: regressions the fast path-table pipeline exists to prevent).
-GATED = ("yen", "bfs", "precompute")
+#: regressions the fast path-table pipeline exists to prevent, plus the
+#: simulator cycle loop the telemetry layer must not slow down).
+GATED = ("yen", "bfs", "precompute", "simulator")
 
 
 def load_means(path: Path) -> dict:
@@ -81,7 +82,10 @@ def main(argv=None) -> int:
     base_means = load_means(baseline)
     print(f"baseline: {baseline}")
     print(f"new:      {args.new}\n")
-    print(f"{'benchmark':50s} {'base (ms)':>10s} {'new (ms)':>10s} {'ratio':>7s}")
+    print(
+        f"{'benchmark':50s} {'base (ms)':>10s} {'new (ms)':>10s}"
+        f" {'delta':>8s} {'ratio':>7s}"
+    )
 
     failures = []
     for name, base, new, ratio, gated in compare(new_means, base_means, args.threshold):
@@ -90,7 +94,11 @@ def main(argv=None) -> int:
             flag = " REGRESSION" if gated else " (slower, not gated)"
             if gated:
                 failures.append((name, ratio))
-        print(f"{name:50s} {base * 1e3:10.2f} {new * 1e3:10.2f} {ratio:7.2f}{flag}")
+        delta = 100.0 * (ratio - 1.0)
+        print(
+            f"{name:50s} {base * 1e3:10.2f} {new * 1e3:10.2f}"
+            f" {delta:+7.1f}% {ratio:7.2f}{flag}"
+        )
 
     missing = sorted(set(base_means) - set(new_means))
     if missing:

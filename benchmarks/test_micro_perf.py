@@ -12,6 +12,7 @@ from repro import Jellyfish, PathCache
 from repro.appsim.fairshare import maxmin_rates
 from repro.core.yen import k_shortest_paths
 from repro.netsim import SimConfig, Simulator, UniformTraffic
+from repro.obs import metrics
 from repro.topology.metrics import average_shortest_path_length
 from repro.topology.rrg import random_regular_graph
 
@@ -79,8 +80,17 @@ def test_perf_fairshare_waterfill(benchmark):
     assert (rates > 0).all()
 
 
+@pytest.mark.obs
 def test_perf_simulator_cycles(benchmark):
-    """Flit-level simulator throughput: cycles/second at moderate load."""
+    """Flit-level simulator throughput: cycles/second at moderate load.
+
+    This is the telemetry layer's perf guard: the simulator is now
+    instrumented (flit/stall tallies, link-flit array, occupancy
+    sampling) but metrics stay *disabled* here, and ``compare.py`` gates
+    this benchmark against the pre-instrumentation baseline — so any
+    disabled-mode overhead above the threshold fails the perf harness.
+    """
+    assert not metrics.enabled()
     topo = Jellyfish(12, 10, 6, seed=7)
     cache = PathCache(topo, "redksp", k=4, seed=1)
     cfg = SimConfig(warmup_cycles=100, sample_cycles=100, n_samples=2)
@@ -94,3 +104,4 @@ def test_perf_simulator_cycles(benchmark):
 
     r = benchmark.pedantic(run, rounds=3, iterations=1)
     assert r.delivered > 0
+    assert metrics.snapshot() is None

@@ -28,6 +28,8 @@ import numpy as np
 from repro.core.path import PathSet
 from repro.core.selectors import PathSelector, make_selector
 from repro.errors import ConfigurationError
+from repro.obs import metrics
+from repro.obs.progress import Progress
 from repro.topology.jellyfish import Jellyfish
 from repro.topology.serialization import topology_from_dict, topology_to_dict
 from repro.utils.validation import check_positive_int
@@ -68,6 +70,11 @@ class PathCache:
         )
         self.k = k
         self.seed = 0 if seed is None else int(seed)
+        #: Lifetime hit/miss tallies (plain ints — always on; the metrics
+        #: registry additionally sees ``core.cache.hit``/``miss`` counters
+        #: when telemetry is enabled).
+        self.hits = 0
+        self.misses = 0
         self._store: Dict[Tuple[int, int], PathSet] = {}
         # All selections run on the topology's shared BFS kernels, so the
         # per-source level fields are computed once across every pair.
@@ -85,11 +92,20 @@ class PathCache:
         key = (source, destination)
         found = self._store.get(key)
         if found is None:
+            self.misses += 1
+            reg = metrics._active
+            if reg is not None:
+                reg.counter("core.cache.miss").inc()
             rng = self._pair_rng(source, destination) if self.selector.randomized else None
             found = self.selector.select(
                 self._graph, source, destination, self.k, rng
             )
             self._store[key] = found
+        else:
+            self.hits += 1
+            reg = metrics._active
+            if reg is not None:
+                reg.counter("core.cache.hit").inc()
         return found
 
     def precompute(self, pairs: Iterable[Tuple[int, int]]) -> None:
@@ -113,6 +129,11 @@ class PathCache:
         or completion order.  Returns the number of newly computed pairs.
 
         ``processes=1`` runs inline (no pool, no pickling).
+
+        Worker metric snapshots (path computation counters from
+        :mod:`repro.obs.metrics`) are merged into the parent's registry,
+        so a parallel warm reports the same telemetry totals as a serial
+        one; per-task progress is logged at ``info`` level.
         """
         if processes < 1:
             raise ConfigurationError(f"processes must be >= 1, got {processes}")
@@ -125,8 +146,11 @@ class PathCache:
         )
         if not missing:
             return 0
+        progress = Progress(len(missing), "path-precompute")
         if processes == 1 or len(missing) < 2 * processes:
-            self.precompute(missing)
+            for s, d in missing:
+                self.get(s, d)
+                progress.step()
             return len(missing)
 
         if chunksize is None:
@@ -137,14 +161,20 @@ class PathCache:
         ]
         initargs = (
             topology_to_dict(self.topology), self.selector, self.k, self.seed,
+            metrics.enabled(),
         )
         with ProcessPoolExecutor(
             max_workers=processes,
             initializer=_precompute_worker_init,
             initargs=initargs,
         ) as pool:
-            for shard_result in pool.map(_precompute_worker_run, shards):
+            for shard_result, snap in pool.map(_precompute_worker_run, shards):
                 self._store.update(shard_result)
+                metrics.merge_snapshot(snap)
+                progress.step(len(shard_result))
+        # The shards were all cache misses; keep the parent's plain-int
+        # tallies consistent with what a serial warm would have recorded.
+        self.misses += len(missing)
         return len(missing)
 
     def warm(
@@ -169,10 +199,13 @@ class PathCache:
         else:
             pairs = list(pairs)
         if store is not None:
-            store.load(self)
-        computed = self.precompute_parallel(pairs, processes=processes)
+            with metrics.span("paths.store_load"):
+                store.load(self)
+        with metrics.span("paths.compute"):
+            computed = self.precompute_parallel(pairs, processes=processes)
         if store is not None and computed:
-            store.save(self)
+            with metrics.span("paths.store_save"):
+                store.save(self)
         return computed
 
     def all_pairs(self) -> Iterable[PathSet]:
@@ -210,18 +243,26 @@ class PathCache:
 # -------------------------------------------------------- pool plumbing
 #: Per-worker state built once by the pool initializer (the topology and
 #: its kernels are ~megabytes; shipping them per task tuple was the seed
-#: implementation's dominant serialization cost).
+#: implementation's dominant serialization cost).  The second slot records
+#: whether the parent had telemetry enabled: workers then capture a fresh
+#: registry per shard and return its snapshot for merging.
 _WORKER_CACHE: List[Optional[PathCache]] = [None]
+_WORKER_OBS: List[bool] = [False]
 
 
-def _precompute_worker_init(topo_doc, selector, k, seed) -> None:
+def _precompute_worker_init(topo_doc, selector, k, seed, obs_enabled=False) -> None:
     _WORKER_CACHE[0] = PathCache(
         topology_from_dict(topo_doc), selector, k=k, seed=seed
     )
+    _WORKER_OBS[0] = bool(obs_enabled)
 
 
 def _precompute_worker_run(
     pairs: Sequence[Tuple[int, int]],
-) -> Dict[Tuple[int, int], PathSet]:
+) -> Tuple[Dict[Tuple[int, int], PathSet], Optional[dict]]:
     cache = _WORKER_CACHE[0]
-    return {(s, d): cache.get(s, d) for s, d in pairs}
+    if not _WORKER_OBS[0]:
+        return {(s, d): cache.get(s, d) for s, d in pairs}, None
+    with metrics.capture() as reg:
+        result = {(s, d): cache.get(s, d) for s, d in pairs}
+    return result, reg.snapshot()

@@ -14,6 +14,7 @@ from repro.core.dijkstra import shortest_path
 from repro.core.kernels import kernels_for
 from repro.core.path import Path
 from repro.errors import InsufficientPathsError, NoPathError
+from repro.obs import metrics
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_in, check_positive_int
 
@@ -48,9 +49,11 @@ def edge_disjoint_paths(
 
     paths: List[Path] = []
     banned: Set[Tuple[int, int]] = set()
+    queries = 0
     for _ in range(k):
         # The first round is ban-free and reads the shared per-source
         # level field; later rounds run banned bitset BFS sweeps.
+        queries += 1
         nodes = shortest_path(
             kernels, source, destination, tie=tie, rng=generator,
             banned_edges=banned,
@@ -64,6 +67,12 @@ def edge_disjoint_paths(
         for u, v in path.edges():
             banned.add((u, v))
             banned.add((v, u))
+    reg = metrics._active
+    if reg is not None:
+        reg.counter("core.remove_find.invocations").inc()
+        reg.counter("core.remove_find.sp_queries").inc(queries)
+        if paths and len(paths) < k and source != destination:
+            reg.counter("core.remove_find.shortfalls").inc()
     if not paths:
         raise NoPathError(source, destination)
     if len(paths) < k and source != destination and on_shortfall == "error":

@@ -13,8 +13,9 @@ Robustness rules:
 - **versioned format** — files carry a format tag and their own key; a
   mismatch (old version, renamed file, foreign content) reads as a miss;
 - **corruption-safe load** — any unreadable, truncated, or structurally
-  invalid file is ignored with a warning and the paths are recomputed;
-  loading never raises;
+  invalid file is ignored (logged as a ``path_store.corrupt_file``
+  warning event and counted in ``core.store.corrupt``) and the paths are
+  recomputed; loading never raises;
 - **atomic save** — writes go to a temp file first and ``os.replace`` into
   place, so a crashed writer cannot leave a half-written table behind;
   saves merge with previously persisted entries, so partial warms
@@ -27,11 +28,11 @@ import gzip
 import hashlib
 import json
 import os
-import warnings
 from pathlib import Path as FsPath
 from typing import Dict, Optional, Tuple
 
 from repro.core.path import Path, PathSet
+from repro.obs import log, metrics
 from repro.topology.serialization import topology_to_dict
 
 __all__ = ["PathStore", "DEFAULT_STORE_DIR"]
@@ -92,9 +93,17 @@ class PathStore:
         Returns the number of imported pairs; 0 on miss or on any form of
         corruption (never raises — the caller just recomputes).
         """
-        entries = self._read_entries(self.file_for(cache), self.cache_key(cache))
+        target = self.file_for(cache)
+        entries = self._read_entries(target, self.cache_key(cache))
         if entries:
             cache.import_state(entries)
+            metrics.counter("core.store.load_hit").inc()
+            metrics.counter("core.store.loaded_pairs").inc(len(entries))
+            log.debug(
+                "path_store.loaded", path=str(target), pairs=len(entries)
+            )
+        else:
+            metrics.counter("core.store.load_miss").inc()
         return len(entries)
 
     def save(self, cache) -> FsPath:
@@ -124,6 +133,8 @@ class PathStore:
         finally:
             if tmp.exists():  # pragma: no cover - crash-path hygiene
                 tmp.unlink()
+        metrics.counter("core.store.saved_pairs").inc(len(entries))
+        log.debug("path_store.saved", path=str(target), pairs=len(entries))
         return target
 
     def _read_entries(
@@ -146,8 +157,8 @@ class PathStore:
         except FileNotFoundError:
             return {}
         except Exception as exc:  # corruption-safe: recompute, never crash
-            warnings.warn(
-                f"ignoring unreadable path-store file {path}: {exc!r}",
-                stacklevel=2,
+            metrics.counter("core.store.corrupt").inc()
+            log.warning(
+                "path_store.corrupt_file", path=str(path), error=repr(exc)
             )
             return {}

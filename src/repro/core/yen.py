@@ -27,6 +27,7 @@ from repro.core.dijkstra import shortest_path
 from repro.core.kernels import LevelField, ban_masks, kernels_for
 from repro.core.path import Path
 from repro.errors import InsufficientPathsError, NoPathError
+from repro.obs import metrics
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_in, check_positive_int
 
@@ -80,6 +81,9 @@ def k_shortest_paths(
     seen_candidates = {tuple(first)}
     # (spur, bans) -> spur path (deterministic) or BFS field (randomized).
     spur_memo: Dict[tuple, object] = {}
+    # [queries, memo hits] — plain local tallies, published once at the
+    # end so the spur loop carries no telemetry overhead.
+    spur_stats = [0, 0]
 
     def push_candidate(nodes: Tuple[int, ...]) -> None:
         if nodes in seen_candidates:
@@ -99,6 +103,9 @@ def k_shortest_paths(
         """Shortest spur -> destination path under the bans (or ``None``)."""
         key = (spur, banned_nodes, banned_edges)
         hit = spur_memo.get(key, _UNSEEN)
+        spur_stats[0] += 1
+        if hit is not _UNSEEN:
+            spur_stats[1] += 1
         if tie == "min":
             if hit is not _UNSEEN:
                 return hit
@@ -150,6 +157,11 @@ def k_shortest_paths(
         _, _, nodes = heapq.heappop(heap)
         accepted.append(Path._from_trusted(nodes))
 
+    reg = metrics._active
+    if reg is not None:
+        reg.counter("core.yen.invocations").inc()
+        reg.counter("core.yen.spur_queries").inc(spur_stats[0])
+        reg.counter("core.yen.memo_hits").inc(spur_stats[1])
     if len(accepted) < k and on_shortfall == "error":
         raise InsufficientPathsError(source, destination, k, accepted)
     return accepted

@@ -15,6 +15,7 @@ from repro.core import PathCache
 from repro.experiments.base import ExperimentResult
 from repro.experiments.presets import netsim_preset
 from repro.netsim import PatternTraffic, saturation_throughput
+from repro.obs import log, metrics, topology_hash
 from repro.topology import Jellyfish
 from repro.traffic import random_permutation, random_shift
 from repro.utils.rng import SeedLike, spawn_rngs
@@ -26,8 +27,15 @@ def run_fig(figure: int, scale: str = "small", seed: SeedLike = 0) -> Experiment
     spec = preset["topo"]
     shift_traffic = figure in (9, 10)
     topo_rng, *pat_rngs = spawn_rngs(seed, preset["n_patterns"] + 1)
-    topo = Jellyfish(spec.n, spec.x, spec.y, seed=topo_rng)
+    with metrics.span("stage.topology"):
+        topo = Jellyfish(spec.n, spec.x, spec.y, seed=topo_rng)
     n = topo.n_hosts
+    if metrics.enabled():
+        metrics.annotate("topology", spec.label)
+        metrics.annotate("topology_hash", topology_hash(topo))
+        metrics.annotate("k", preset["k"])
+        metrics.annotate("schemes", list(preset["schemes"]))
+        metrics.annotate("mechanisms", list(preset["mechanisms"]))
 
     patterns = [
         random_shift(n, seed=rng) if shift_traffic else random_permutation(n, seed=rng)
@@ -39,21 +47,26 @@ def run_fig(figure: int, scale: str = "small", seed: SeedLike = 0) -> Experiment
     for si, scheme in enumerate(preset["schemes"]):
         cache = PathCache(topo, scheme, k=preset["k"], seed=int(topo_rng.integers(2**31)))
         per_mech = {}
-        for mi, mech in enumerate(preset["mechanisms"]):
-            values = []
-            for i, pat in enumerate(patterns):
-                # Deterministic per-cell stream: str hashes are salted per
-                # process, so derive from indices instead.
-                cell_seed = np.random.SeedSequence(
-                    entropy=figure, spawn_key=(si, mi, i)
+        with metrics.span(f"stage.sweep.{scheme}"):
+            for mi, mech in enumerate(preset["mechanisms"]):
+                values = []
+                for i, pat in enumerate(patterns):
+                    # Deterministic per-cell stream: str hashes are salted
+                    # per process, so derive from indices instead.
+                    cell_seed = np.random.SeedSequence(
+                        entropy=figure, spawn_key=(si, mi, i)
+                    )
+                    th, _ = saturation_throughput(
+                        topo, cache, mech, PatternTraffic(pat),
+                        rates=preset["rates"], config=preset["config"],
+                        seed=cell_seed,
+                    )
+                    values.append(th)
+                per_mech[mech] = float(np.mean(values))
+                log.info(
+                    "sweep_cell_done", figure=figure, scheme=scheme,
+                    mechanism=mech, throughput=per_mech[mech],
                 )
-                th, _ = saturation_throughput(
-                    topo, cache, mech, PatternTraffic(pat),
-                    rates=preset["rates"], config=preset["config"],
-                    seed=cell_seed,
-                )
-                values.append(th)
-            per_mech[mech] = float(np.mean(values))
         data[scheme] = per_mech
         rows.append([scheme] + [round(per_mech[m], 3) for m in preset["mechanisms"]])
 

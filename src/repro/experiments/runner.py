@@ -1,12 +1,27 @@
-"""Experiment registry and command-line entry point."""
+"""Experiment registry and command-line entry point.
+
+With ``--telemetry-dir DIR`` every experiment run additionally produces:
+
+- ``<experiment>-<scale>.manifest.json`` — the run manifest (config,
+  package version, topology hash, stage timings, metric snapshot);
+- ``<experiment>-<scale>.events.jsonl`` — the structured event log
+  (records at or above ``--log-level``);
+- an ASCII summary on stdout: the stage-timing table and, for simulator
+  experiments, the per-scheme link-load-imbalance report.
+"""
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import time
+from pathlib import Path
 from typing import Callable, Dict
 
 from repro.errors import ConfigurationError
+from repro.obs import log as obs_log
+from repro.obs import metrics
+from repro.obs.manifest import build_manifest, write_manifest
 from repro.experiments.base import ExperimentResult
 from repro.experiments.ext_failures import run as run_ext_failures
 from repro.experiments.figs_latency import run_fig11, run_fig12, run_fig13
@@ -107,7 +122,24 @@ def main(argv=None) -> int:
         default=None,
         help="also write <experiment>.json and <experiment>.csv here",
     )
+    parser.add_argument(
+        "--telemetry-dir",
+        default=None,
+        metavar="DIR",
+        help="enable the metrics registry and write a run manifest (JSON) "
+        "plus a structured event log (JSONL) per experiment here",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="warning",
+        help="structured-log threshold; 'info' shows per-task progress "
+        "and stage events (default: warning)",
+    )
     args = parser.parse_args(argv)
+
+    obs_log.set_level(args.log_level)
+    telemetry_dir = Path(args.telemetry_dir) if args.telemetry_dir else None
 
     store = None
     if args.path_store is not None:
@@ -120,20 +152,75 @@ def main(argv=None) -> int:
         )
 
     names = list(EXPERIMENTS) if "all" in args.experiment else args.experiment
-    for name in names:
-        result = run_experiment(
-            name, scale=args.scale, seed=args.seed,
-            processes=args.processes, path_store=store,
-        )
-        print(result.to_text())
-        print()
-        if args.export_dir is not None:
-            from pathlib import Path
+    try:
+        for name in names:
+            if telemetry_dir is not None:
+                # A fresh registry per experiment keeps each manifest's
+                # snapshot scoped to its own run.
+                metrics.enable()
+                obs_log.open_jsonl(
+                    telemetry_dir / f"{name}-{args.scale}.events.jsonl"
+                )
+            obs_log.info(
+                "experiment_start",
+                experiment=name, scale=args.scale, seed=args.seed,
+                processes=args.processes,
+            )
+            t0 = time.perf_counter()
+            with metrics.span(f"experiment.{name}"):
+                result = run_experiment(
+                    name, scale=args.scale, seed=args.seed,
+                    processes=args.processes, path_store=store,
+                )
+            wall = time.perf_counter() - t0
+            obs_log.info(
+                "experiment_done", experiment=name, wall_time_s=round(wall, 3)
+            )
+            print(result.to_text())
+            print()
+            if args.export_dir is not None:
+                from repro.report import save_result
 
-            from repro.report import save_result
-
-            out = Path(args.export_dir)
-            out.mkdir(parents=True, exist_ok=True)
-            save_result(result, out / f"{name}.json")
-            save_result(result, out / f"{name}.csv")
+                out = Path(args.export_dir)
+                out.mkdir(parents=True, exist_ok=True)
+                save_result(result, out / f"{name}.json")
+                save_result(result, out / f"{name}.csv")
+            if telemetry_dir is not None:
+                _emit_telemetry(name, args, wall, telemetry_dir)
+    finally:
+        metrics.disable()
+        obs_log.close_jsonl()
     return 0
+
+
+def _emit_telemetry(name: str, args, wall: float, telemetry_dir: Path) -> None:
+    """Write the run manifest and print the ASCII telemetry summary."""
+    from repro.report import link_load_report, stage_timing_table
+
+    snap = metrics.snapshot() or {}
+    doc = build_manifest(
+        experiment=name,
+        scale=args.scale,
+        seed=args.seed,
+        config={
+            "processes": args.processes,
+            "path_store": args.path_store,
+            "export_dir": args.export_dir,
+        },
+        wall_time_s=wall,
+        metrics_snapshot=snap,
+    )
+    path = write_manifest(doc, telemetry_dir, f"{name}-{args.scale}.manifest.json")
+    print(stage_timing_table(snap.get("timers", {})))
+    link_arrays = {
+        key.split("/", 1)[1]: values
+        for key, values in snap.get("arrays", {}).items()
+        if key.startswith("netsim.link_flits/")
+    }
+    if link_arrays:
+        print()
+        print(link_load_report(link_arrays))
+    print(f"# manifest: {path}")
+    print()
+    obs_log.info("manifest_written", experiment=name, path=str(path))
+    obs_log.close_jsonl()

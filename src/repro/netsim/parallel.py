@@ -30,6 +30,8 @@ from repro.errors import ConfigurationError
 from repro.netsim.config import SimConfig
 from repro.netsim.sweep import saturation_throughput
 from repro.netsim.simulator import PatternTraffic
+from repro.obs import metrics
+from repro.obs.progress import Progress
 from repro.topology.jellyfish import Jellyfish
 from repro.topology.serialization import topology_from_dict, topology_to_dict
 from repro.traffic.patterns import Pattern
@@ -48,11 +50,14 @@ class GridCell:
 
 
 # Per-worker state built once by the pool initializer: the rebuilt topology
-# and one warmed PathCache per scheme.
+# and one warmed PathCache per scheme.  The flag records whether the parent
+# had telemetry enabled; cells then run under a captured registry and ship
+# its snapshot home for merging.
 _GRID_STATE: List[Optional[Tuple[Jellyfish, Dict[str, PathCache]]]] = [None]
+_GRID_OBS: List[bool] = [False]
 
 
-def _grid_init(topo_doc, k, cache_seed, states) -> None:
+def _grid_init(topo_doc, k, cache_seed, states, obs_enabled=False) -> None:
     """Pool initializer: rebuild the topology and warmed caches once."""
     topology = topology_from_dict(topo_doc)
     caches: Dict[str, PathCache] = {}
@@ -61,21 +66,36 @@ def _grid_init(topo_doc, k, cache_seed, states) -> None:
         cache.import_state(state)
         caches[scheme] = cache
     _GRID_STATE[0] = (topology, caches)
+    _GRID_OBS[0] = bool(obs_enabled)
 
 
-def _run_cell(args) -> GridCell:
-    """Worker: run one saturation sweep against the initializer's state."""
+def _run_cell(args) -> Tuple[GridCell, Optional[dict]]:
+    """Worker: run one saturation sweep against the initializer's state.
+
+    Returns the cell plus a metrics snapshot of everything the sweep
+    recorded (simulator flit/stall counters, per-link flit arrays, cache
+    hit/miss counts) when telemetry is on.  Snapshots merge commutatively,
+    so the parent's aggregate is identical for any worker count.
+    """
     (
         scheme, mechanism, pattern_index, pattern_flows, n_hosts,
         rates, config, cell_seed,
     ) = args
     topology, caches = _GRID_STATE[0]
     pattern = Pattern("grid", n_hosts, pattern_flows)
-    th, _ = saturation_throughput(
-        topology, caches[scheme], mechanism, PatternTraffic(pattern),
-        rates=rates, config=config, seed=np.random.SeedSequence(cell_seed),
-    )
-    return GridCell(scheme, mechanism, pattern_index, th)
+
+    def sweep():
+        th, _ = saturation_throughput(
+            topology, caches[scheme], mechanism, PatternTraffic(pattern),
+            rates=rates, config=config, seed=np.random.SeedSequence(cell_seed),
+        )
+        return th
+
+    if not _GRID_OBS[0]:
+        return GridCell(scheme, mechanism, pattern_index, sweep()), None
+    with metrics.capture() as reg:
+        th = sweep()
+    return GridCell(scheme, mechanism, pattern_index, th), reg.snapshot()
 
 
 def run_saturation_grid(
@@ -131,19 +151,31 @@ def run_saturation_grid(
                 )
                 cell += 1
 
-    initargs = (topo_doc, k, seed, states)
+    progress = Progress(len(tasks), "saturation-grid")
+    initargs = (topo_doc, k, seed, states, metrics.enabled())
+    cells: List[GridCell] = []
     if processes == 1:
+        # Inline cells use the same per-cell capture-and-merge path as the
+        # pool, so serial and parallel runs aggregate identical telemetry.
         _grid_init(*initargs)
         try:
-            cells = [_run_cell(t) for t in tasks]
+            for t in tasks:
+                cell, snap = _run_cell(t)
+                cells.append(cell)
+                metrics.merge_snapshot(snap)
+                progress.step()
         finally:
             _GRID_STATE[0] = None
+            _GRID_OBS[0] = False
     else:
         with ProcessPoolExecutor(
             max_workers=processes, initializer=_grid_init, initargs=initargs,
         ) as pool:
             chunksize = max(1, len(tasks) // (4 * processes))
-            cells = list(pool.map(_run_cell, tasks, chunksize=chunksize))
+            for cell, snap in pool.map(_run_cell, tasks, chunksize=chunksize):
+                cells.append(cell)
+                metrics.merge_snapshot(snap)
+                progress.step()
 
     out: Dict[Tuple[str, str], List[float]] = {}
     for c in cells:

@@ -36,6 +36,7 @@ import numpy as np
 from repro.core.cache import PathCache
 from repro.errors import ConfigurationError, SimulationError, TrafficError
 from repro.netsim.config import SimConfig
+from repro.obs import metrics
 from repro.netsim.mechanisms import RoutingMechanism, make_mechanism
 from repro.netsim.network import NetworkWiring
 from repro.netsim.packet import Packet
@@ -246,6 +247,12 @@ class Simulator:
         # Flits launched onto each switch link during the measurement
         # window (link-utilisation statistics).
         self._link_flits = np.zeros(topology.n_switch_links, dtype=np.int64)
+        # Telemetry tallies (plain ints on the hot path; published to the
+        # metrics registry once per run, so disabled-mode overhead is a
+        # couple of integer adds per cycle).
+        self.flits_forwarded = 0
+        self.credit_stalls = 0
+        self._occupancy_samples: List[int] = []
 
     # ----------------------------------------------------------- plumbing
     def _buf_idx(self, switch: int, port: int, vc: int) -> int:
@@ -295,6 +302,7 @@ class Simulator:
     def _launch_from_sources(self, now: int) -> None:
         cfg = self.config
         wiring = self.wiring
+        stalls = 0
         for h, q in self.source_q.items():
             if not q:
                 continue
@@ -302,6 +310,7 @@ class Simulator:
             inj_port = wiring.injection_port(h)
             idx = self._buf_idx(sw, inj_port, 0)
             if self.free[idx] <= 0:
+                stalls += 1
                 continue
             t_create, dst = q.popleft()
             dst_sw = int(self._switch_of_host[dst])
@@ -313,12 +322,15 @@ class Simulator:
             packet = Packet(h, dst, nodes, route, t_create)
             self.free[idx] -= 1
             self._push_arrival(now + cfg.channel_latency, idx, packet)
+        self.credit_stalls += stalls
 
     def _allocate(self, now: int) -> None:
         cfg = self.config
         wiring = self.wiring
         n_vcs = self.n_vcs
         eject_base = wiring.n_switch_ports
+        stalls = 0
+        forwarded = 0
         for switch in range(self.topology.n_switches):
             active = self.nonempty[switch]
             if not active:
@@ -335,6 +347,7 @@ class Simulator:
                         nxt, wiring.peer_port[switch][out_port], packet.hop + 1
                     )
                     if self.free[nxt_idx] <= 0:
+                        stalls += 1
                         continue
                 requests.setdefault(out_port, []).append(flat_idx)
 
@@ -380,21 +393,42 @@ class Simulator:
                     link = wiring.link_of[switch][out_port]
                     self.free[nxt_idx] -= 1
                     self.occupancy[link] += 1
+                    forwarded += 1
                     if now >= self._measure_start:
                         self._link_flits[link] += 1
                     packet.in_link = link
                     packet.hop += 1
                     self._push_arrival(now + cfg.channel_latency, nxt_idx, packet)
+        self.credit_stalls += stalls
+        self.flits_forwarded += forwarded
 
     # ---------------------------------------------------------------- run
     def run(self) -> SimResult:
-        """Simulate warmup + measurement and return the run statistics."""
+        """Simulate warmup + measurement and return the run statistics.
+
+        The cycle loop is chunked at sample boundaries (identical cycle
+        sequence either way) so VC-occupancy sampling costs nothing per
+        cycle: when telemetry is enabled the buffer occupancy is read once
+        per sample window, never inside the hot loop.
+        """
         cfg = self.config
-        for now in range(cfg.total_cycles):
+        observe = metrics.enabled()
+        for now in range(cfg.warmup_cycles):
             self._process_arrivals(now)
             self._inject(now)
             self._launch_from_sources(now)
             self._allocate(now)
+        start = cfg.warmup_cycles
+        for _ in range(cfg.n_samples):
+            stop = start + cfg.sample_cycles
+            for now in range(start, stop):
+                self._process_arrivals(now)
+                self._inject(now)
+                self._launch_from_sources(now)
+                self._allocate(now)
+            start = stop
+            if observe:
+                self._occupancy_samples.append(self.buffered_flits())
 
         samples = tuple(
             (self._sample_sums[i] / self._sample_counts[i])
@@ -417,6 +451,9 @@ class Simulator:
             p50 = p99 = float("nan")
         util = self._link_flits / cfg.measure_cycles
         active = max(1, len(self.active_hosts))
+        reg = metrics.active()
+        if reg is not None:
+            self._publish_metrics(reg)
         return SimResult(
             injection_rate=self.rate,
             injected=self.injected,
@@ -457,6 +494,32 @@ class Simulator:
                 f"{self.in_flight()} packets stuck"
             )
         return cfg.drain_max_cycles
+
+    # --------------------------------------------------------- telemetry
+    def buffered_flits(self) -> int:
+        """Flits currently occupying (input port, VC) buffer slots."""
+        return len(self.free) * self.config.vc_buffer - sum(self.free)
+
+    def _publish_metrics(self, reg) -> None:
+        """Publish this run's tallies to the active metrics registry.
+
+        The per-directed-link flit array is keyed by the path-selection
+        scheme name, so one experiment that sweeps several schemes ends up
+        with one aggregate utilization array per scheme — the raw material
+        of the KSP-versus-rKSP link-load-imbalance report.
+        """
+        scheme = getattr(self.paths.selector, "name", "unknown")
+        reg.counter("netsim.runs").inc()
+        reg.counter("netsim.injected").inc(self.injected)
+        reg.counter("netsim.delivered").inc(self.delivered)
+        reg.counter("netsim.flits_forwarded").inc(self.flits_forwarded)
+        reg.counter("netsim.credit_stalls").inc(self.credit_stalls)
+        occupancy = reg.histogram("netsim.vc_occupancy")
+        for sample in self._occupancy_samples:
+            occupancy.observe(sample)
+        reg.array(
+            f"netsim.link_flits/{scheme}", self.topology.n_switch_links
+        ).add(self._link_flits)
 
     # ------------------------------------------------------- diagnostics
     def in_flight(self) -> int:

@@ -1,0 +1,31 @@
+"""Observability for the repro pipeline: metrics, logs, progress, manifests.
+
+- :mod:`repro.obs.metrics` — counters / gauges / histograms / span timers /
+  per-link arrays with a no-op fast path when disabled and snapshot+merge
+  semantics for cross-process aggregation;
+- :mod:`repro.obs.log` — structured events (stderr + JSONL + handlers);
+- :mod:`repro.obs.progress` — completed/total + ETA reporting;
+- :mod:`repro.obs.manifest` — per-run JSON manifests.
+
+Typical embedding use::
+
+    from repro.obs import metrics
+    reg = metrics.enable()            # opt in (off by default)
+    ... run experiments ...
+    snap = reg.snapshot()             # JSON-able totals
+"""
+
+from repro.obs import log, metrics
+from repro.obs.manifest import build_manifest, topology_hash, write_manifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import Progress
+
+__all__ = [
+    "log",
+    "metrics",
+    "MetricsRegistry",
+    "Progress",
+    "build_manifest",
+    "topology_hash",
+    "write_manifest",
+]

@@ -1,0 +1,150 @@
+"""Structured, dependency-free logging for the repro pipeline.
+
+One event per call: a short dotted event name plus keyword fields.  Three
+sinks, all optional:
+
+- **stderr** — a compact human line (``HH:MM:SS LEVEL event k=v ...``)
+  for records at or above the configured level (default ``warning``, so
+  the library is silent in normal use — the CLI raises it with
+  ``--log-level info``);
+- **JSONL file** — every emitted record as one JSON object per line
+  (:func:`open_jsonl` / :func:`close_jsonl`), the experiment event log;
+- **handlers** — arbitrary callables receiving the record dict, used by
+  tests and embedding applications.
+
+This replaces the ad-hoc ``warnings.warn`` / ``print`` paths that used to
+be scattered through ``core.store``, ``core.cache`` and the experiment
+runner: every message is now a machine-readable event with a stable name.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "LEVELS",
+    "set_level",
+    "get_level",
+    "add_handler",
+    "remove_handler",
+    "open_jsonl",
+    "close_jsonl",
+    "log",
+    "debug",
+    "info",
+    "warning",
+    "error",
+]
+
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+_NAMES = {v: k for k, v in LEVELS.items()}
+
+_level = LEVELS["warning"]
+_handlers: List[Callable[[dict], None]] = []
+_jsonl = None  # open file object or None
+_lock = threading.Lock()
+
+
+def _coerce_level(level: str | int) -> int:
+    if isinstance(level, str):
+        try:
+            return LEVELS[level]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from {sorted(LEVELS)}"
+            ) from None
+    return int(level)
+
+
+def set_level(level: str | int) -> None:
+    """Set the global threshold (``"debug"``/``"info"``/``"warning"``/``"error"``)."""
+    global _level
+    _level = _coerce_level(level)
+
+
+def get_level() -> int:
+    return _level
+
+
+def add_handler(handler: Callable[[dict], None]) -> None:
+    """Register a callable that receives every emitted record dict."""
+    _handlers.append(handler)
+
+
+def remove_handler(handler: Callable[[dict], None]) -> None:
+    _handlers.remove(handler)
+
+
+def open_jsonl(path) -> Path:
+    """Append emitted records to ``path`` as JSON lines (the event log)."""
+    global _jsonl
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with _lock:
+        if _jsonl is not None:
+            _jsonl.close()
+        _jsonl = open(path, "a", encoding="utf-8")
+    return path
+
+
+def close_jsonl() -> None:
+    global _jsonl
+    with _lock:
+        if _jsonl is not None:
+            _jsonl.close()
+            _jsonl = None
+
+
+def _human_line(record: dict) -> str:
+    ts = time.strftime("%H:%M:%S", time.localtime(record["ts"]))
+    fields = " ".join(
+        f"{k}={v}" for k, v in record.items() if k not in ("ts", "level", "event")
+    )
+    line = f"{ts} {record['level'].upper():7s} {record['event']}"
+    return f"{line} {fields}" if fields else line
+
+
+def log(level: str | int, event: str, **fields) -> None:
+    """Emit one record if ``level`` passes the threshold.
+
+    ``fields`` must be JSON-able (stringify paths and exceptions at the
+    call site).  Records go to stderr, the JSONL sink, and any registered
+    handlers.
+    """
+    lv = _coerce_level(level)
+    if lv < _level:
+        return
+    record = {
+        "ts": time.time(),
+        "level": _NAMES.get(lv, str(lv)),
+        "event": event,
+        **fields,
+    }
+    with _lock:
+        print(_human_line(record), file=sys.stderr)
+        if _jsonl is not None:
+            _jsonl.write(json.dumps(record) + "\n")
+            _jsonl.flush()
+    for handler in list(_handlers):
+        handler(record)
+
+
+def debug(event: str, **fields) -> None:
+    log("debug", event, **fields)
+
+
+def info(event: str, **fields) -> None:
+    log("info", event, **fields)
+
+
+def warning(event: str, **fields) -> None:
+    log("warning", event, **fields)
+
+
+def error(event: str, **fields) -> None:
+    log("error", event, **fields)

@@ -1,0 +1,99 @@
+"""Run manifests: one JSON document fully describing one experiment run.
+
+A manifest ties together *what* ran (experiment id, scale, seed, config,
+package version), *on what* (topology content hash, platform), *how long*
+(wall time, per-stage timings) and *what happened* (the metric snapshot:
+path-cache hit/miss counts, simulator flit/stall counters, per-link
+utilization arrays).  Written by ``python -m repro.experiments ...
+--telemetry-dir DIR`` as ``<experiment>-<scale>.manifest.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Mapping, Optional
+
+__all__ = ["MANIFEST_FORMAT", "topology_hash", "build_manifest", "write_manifest"]
+
+MANIFEST_FORMAT = "repro-manifest-v1"
+
+
+def topology_hash(topology) -> str:
+    """SHA-256 content hash of the exact topology (parameters + adjacency).
+
+    Matches the identity notion of the persistent path store: two
+    Jellyfish instances hash equal iff their documents are identical.
+    """
+    from repro.topology.serialization import topology_to_dict
+
+    blob = json.dumps(
+        topology_to_dict(topology), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+
+def build_manifest(
+    *,
+    experiment: str,
+    scale: str,
+    seed: int,
+    config: Optional[Mapping] = None,
+    wall_time_s: float,
+    metrics_snapshot: Optional[Mapping] = None,
+) -> dict:
+    """Assemble the manifest document (plain JSON-able dict).
+
+    ``metrics_snapshot`` is a :meth:`MetricsRegistry.snapshot` document;
+    its ``timers`` section becomes the manifest's stage timings and its
+    ``info`` annotations (topology hash, labels) are lifted to the top
+    level.
+    """
+    import repro
+
+    snap = metrics_snapshot or {}
+    return {
+        "format": MANIFEST_FORMAT,
+        "experiment": experiment,
+        "scale": scale,
+        "seed": seed,
+        "package_version": repro.__version__,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "wall_time_s": round(float(wall_time_s), 3),
+        "config": dict(config or {}),
+        "info": dict(snap.get("info", {})),
+        "stage_timings": snap.get("timers", {}),
+        "metrics": {
+            "counters": snap.get("counters", {}),
+            "gauges": snap.get("gauges", {}),
+            "histograms": snap.get("histograms", {}),
+            "arrays": snap.get("arrays", {}),
+        },
+    }
+
+
+def write_manifest(doc: Mapping, directory, filename: Optional[str] = None) -> Path:
+    """Write ``doc`` under ``directory`` atomically and return the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if filename is None:
+        filename = (
+            f"{doc.get('experiment', 'run')}-{doc.get('scale', 'na')}"
+            ".manifest.json"
+        )
+    target = directory / filename
+    tmp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, target)
+    finally:
+        if tmp.exists():  # pragma: no cover - crash-path hygiene
+            tmp.unlink()
+    return target

@@ -1,0 +1,59 @@
+"""Per-task progress reporting for long fan-out loops.
+
+A :class:`Progress` wraps a completed/total counter and emits rate-limited
+``progress`` events at ``info`` level (visible with ``--log-level info``),
+including percentage done and an ETA extrapolated from the observed rate.
+The first and last steps always log, so short runs still show start/end.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import log
+
+__all__ = ["Progress"]
+
+
+class Progress:
+    """Track ``completed/total`` work items and log progress with an ETA.
+
+    Parameters
+    ----------
+    total:
+        Number of work items expected.
+    label:
+        Short identifier included in every record (e.g. ``"precompute"``).
+    min_interval:
+        Minimum seconds between two progress records (rate limiting); the
+        final record is always emitted.
+    """
+
+    def __init__(self, total: int, label: str, *, min_interval: float = 1.0):
+        self.total = int(total)
+        self.label = label
+        self.done = 0
+        self._t0 = time.monotonic()
+        self._last_log = -float("inf")
+        self._min_interval = float(min_interval)
+
+    def step(self, n: int = 1) -> None:
+        """Mark ``n`` more items complete, logging if due."""
+        self.done += n
+        now = time.monotonic()
+        if self.done < self.total and now - self._last_log < self._min_interval:
+            return
+        self._last_log = now
+        elapsed = now - self._t0
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        remaining = max(0, self.total - self.done)
+        eta = remaining / rate if rate > 0 else float("nan")
+        log.info(
+            "progress",
+            label=self.label,
+            completed=self.done,
+            total=self.total,
+            pct=round(100.0 * self.done / self.total, 1) if self.total else 100.0,
+            elapsed_s=round(elapsed, 2),
+            eta_s=round(eta, 2) if eta == eta else None,
+        )

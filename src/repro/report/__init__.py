@@ -5,7 +5,20 @@ figure-shaped views (latency-load curves, throughput bars) as terminal
 charts, plus machine-readable exports for downstream analysis.
 """
 
-from repro.report.ascii import bar_chart, line_chart
+from repro.report.ascii import (
+    bar_chart,
+    line_chart,
+    link_load_report,
+    stage_timing_table,
+)
 from repro.report.export import result_to_csv, result_to_json, save_result
 
-__all__ = ["bar_chart", "line_chart", "result_to_csv", "result_to_json", "save_result"]
+__all__ = [
+    "bar_chart",
+    "line_chart",
+    "link_load_report",
+    "stage_timing_table",
+    "result_to_csv",
+    "result_to_json",
+    "save_result",
+]

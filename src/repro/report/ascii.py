@@ -2,16 +2,22 @@
 
 Two chart kinds cover the paper's figures: :func:`line_chart` for the
 latency-versus-load curves (Figures 11-13) and :func:`bar_chart` for the
-throughput comparisons (Figures 4-10).
+throughput comparisons (Figures 4-10).  The telemetry layer adds two
+summary views: :func:`stage_timing_table` for a run's span timers and
+:func:`link_load_report` for per-scheme link-utilization arrays (the
+paper's KSP-piles-paths-onto-the-same-links claim, made visible).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Mapping, Sequence, Tuple
 
-from repro.errors import ConfigurationError
+import numpy as np
 
-__all__ = ["line_chart", "bar_chart"]
+from repro.errors import ConfigurationError
+from repro.utils.tables import format_table
+
+__all__ = ["line_chart", "bar_chart", "stage_timing_table", "link_load_report"]
 
 _MARKERS = "ox+*#@%&"
 
@@ -90,3 +96,76 @@ def bar_chart(
         n = int(round(v / top * width)) if top > 0 else 0
         lines.append(f"{label.ljust(label_w)} | {'█' * n}{' ' * (width - n)} {fmt.format(v)}")
     return "\n".join(lines)
+
+
+def stage_timing_table(
+    timers: Mapping[str, Mapping],
+    *,
+    title: str = "stage timings",
+) -> str:
+    """Render a metrics snapshot's ``timers`` section as a table.
+
+    ``timers`` maps span name to a histogram document (``count`` /
+    ``total`` / ``min`` / ``max`` in seconds, as produced by
+    :meth:`repro.obs.metrics.MetricsRegistry.snapshot`).  Rows are sorted
+    by total time, descending — where the wall time actually went.
+    """
+    if not timers:
+        return f"{title}: (no spans recorded)"
+    rows = []
+    for name, doc in sorted(
+        timers.items(), key=lambda kv: kv[1].get("total", 0.0), reverse=True
+    ):
+        count = int(doc.get("count", 0))
+        total = float(doc.get("total", 0.0))
+        mean_ms = 1e3 * total / count if count else float("nan")
+        max_ms = 1e3 * float(doc.get("max") or 0.0)
+        rows.append([name, count, round(total, 3), round(mean_ms, 1), round(max_ms, 1)])
+    return format_table(
+        ["stage", "count", "total (s)", "mean (ms)", "max (ms)"],
+        rows,
+        title=title,
+    )
+
+
+def link_load_report(
+    link_flits: Mapping[str, Sequence[int]],
+    *,
+    top_n: int = 5,
+    title: str = "link load by scheme",
+) -> str:
+    """Per-scheme link-load-imbalance summary from flit-count arrays.
+
+    ``link_flits`` maps a scheme label to its per-directed-link flit
+    counts (the ``netsim.link_flits/<scheme>`` arrays of a metrics
+    snapshot).  For each scheme the report shows total flits, the
+    max/mean ratio over links that carried traffic (the imbalance figure:
+    deterministic KSP concentrates flits on few links, so its ratio sits
+    well above a randomized scheme's on the same topology and seed) and
+    the ``top_n`` hottest link ids.
+    """
+    if not link_flits:
+        return f"{title}: (no link data recorded)"
+    rows = []
+    hottest_lines = []
+    for scheme, counts in sorted(link_flits.items()):
+        arr = np.asarray(counts, dtype=np.float64)
+        total = float(arr.sum())
+        mean = float(arr.mean()) if arr.size else 0.0
+        peak = float(arr.max()) if arr.size else 0.0
+        ratio = peak / mean if mean > 0 else float("nan")
+        used = int((arr > 0).sum())
+        rows.append(
+            [scheme, int(total), used, round(mean, 1), int(peak), round(ratio, 2)]
+        )
+        order = np.argsort(arr)[::-1][:top_n]
+        hottest = ", ".join(
+            f"#{int(i)}:{int(arr[i])}" for i in order if arr[i] > 0
+        )
+        hottest_lines.append(f"  {scheme} hottest links: {hottest or '(none)'}")
+    out = format_table(
+        ["scheme", "flits", "links used", "mean/link", "max/link", "max/mean"],
+        rows,
+        title=title,
+    )
+    return out + "\n" + "\n".join(hottest_lines)

@@ -24,6 +24,7 @@ import pytest
 
 from repro import Jellyfish, PathCache, PathStore
 from repro.core.store import _FORMAT
+from repro.obs import log
 
 
 # --------------------------------------------------------------------------
@@ -287,15 +288,22 @@ def test_store_load_survives_corruption(topo, tmp_path):
     cache.warm([(0, 1), (1, 2)], store=store)
     target = store.file_for(cache)
 
-    # Truncated gzip and garbage bytes must read as a miss with a warning,
-    # never raise.
+    # Truncated gzip and garbage bytes must read as a miss with a logged
+    # corruption event, never raise.
     good = target.read_bytes()
-    for payload in [good[: len(good) // 2], b"not a gzip file at all"]:
-        target.write_bytes(payload)
-        fresh = PathCache(topo, "sp", k=1, seed=0)
-        with pytest.warns(UserWarning, match="ignoring unreadable"):
+    events = []
+    log.add_handler(events.append)
+    try:
+        for payload in [good[: len(good) // 2], b"not a gzip file at all"]:
+            target.write_bytes(payload)
+            fresh = PathCache(topo, "sp", k=1, seed=0)
             assert store.load(fresh) == 0
-        assert len(fresh) == 0
+            assert len(fresh) == 0
+    finally:
+        log.remove_handler(events.append)
+    corrupt = [e for e in events if e["event"] == "path_store.corrupt_file"]
+    assert len(corrupt) == 2
+    assert all(str(target) == e["path"] for e in corrupt)
 
     # A format-tag or key mismatch (old version, renamed file) is a silent
     # miss — valid file, just not ours.

@@ -1,0 +1,130 @@
+"""Structured logger, progress reporting, and run-manifest documents."""
+
+import json
+
+import pytest
+
+from repro import Jellyfish
+from repro.obs import Progress, build_manifest, log, topology_hash, write_manifest
+from repro.obs.manifest import MANIFEST_FORMAT
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def _log_state():
+    """Restore the module-global level/sinks no matter what a test does."""
+    level = log.get_level()
+    yield
+    log.set_level(level)
+    log.close_jsonl()
+
+
+@pytest.fixture()
+def events():
+    captured = []
+    log.add_handler(captured.append)
+    yield captured
+    log.remove_handler(captured.append)
+
+
+# ------------------------------------------------------------------ log
+
+def test_level_threshold_filters_records(events):
+    log.set_level("warning")
+    log.info("quiet_event")
+    log.warning("loud_event", n=1)
+    assert [e["event"] for e in events] == ["loud_event"]
+    log.set_level("debug")
+    log.debug("now_visible")
+    assert events[-1]["event"] == "now_visible"
+
+
+def test_record_shape(events):
+    log.error("boom", path="/tmp/x", n=3)
+    rec = events[-1]
+    assert rec["level"] == "error"
+    assert rec["event"] == "boom"
+    assert rec["path"] == "/tmp/x" and rec["n"] == 3
+    assert isinstance(rec["ts"], float)
+
+
+def test_unknown_level_rejected():
+    with pytest.raises(ValueError, match="unknown log level"):
+        log.set_level("verbose")
+
+
+def test_jsonl_sink(tmp_path):
+    target = tmp_path / "sub" / "run.events.jsonl"
+    log.open_jsonl(target)  # creates parent directories
+    log.warning("first", a=1)
+    log.warning("second", b=[1, 2])
+    log.close_jsonl()
+    records = [json.loads(line) for line in target.read_text().splitlines()]
+    assert [r["event"] for r in records] == ["first", "second"]
+    assert records[1]["b"] == [1, 2]
+
+
+# ------------------------------------------------------------- progress
+
+def test_progress_reports_completion_and_eta(events):
+    log.set_level("info")
+    p = Progress(4, "unit-test", min_interval=0.0)
+    for _ in range(4):
+        p.step()
+    progress = [e for e in events if e["event"] == "progress"]
+    assert len(progress) == 4
+    last = progress[-1]
+    assert last["label"] == "unit-test"
+    assert last["completed"] == 4 and last["total"] == 4
+    assert last["pct"] == 100.0
+    assert last["eta_s"] is None or last["eta_s"] == 0.0
+
+
+def test_progress_rate_limited_but_final_always_logs(events):
+    log.set_level("info")
+    p = Progress(100, "quiet", min_interval=3600.0)
+    for _ in range(100):
+        p.step()
+    progress = [e for e in events if e["event"] == "progress"]
+    # First step logs (timer starts at -inf), then silence until the last.
+    assert [e["completed"] for e in progress] == [1, 100]
+
+
+# ------------------------------------------------------------- manifest
+
+def test_topology_hash_is_content_identity():
+    a = Jellyfish(8, 6, 4, seed=3)
+    b = Jellyfish(8, 6, 4, seed=3)
+    c = Jellyfish(8, 6, 4, seed=4)
+    assert topology_hash(a) == topology_hash(b)
+    assert topology_hash(a) != topology_hash(c)
+    assert len(topology_hash(a)) == 64  # sha256 hex
+
+
+def test_build_and_write_manifest(tmp_path):
+    snap = {
+        "counters": {"core.cache.hit": 5},
+        "timers": {"stage.topology": {"count": 1, "total": 0.25}},
+        "info": {"topology_hash": "abc"},
+    }
+    doc = build_manifest(
+        experiment="fig9",
+        scale="small",
+        seed=7,
+        config={"processes": 2},
+        wall_time_s=1.23456,
+        metrics_snapshot=snap,
+    )
+    assert doc["format"] == MANIFEST_FORMAT
+    assert doc["experiment"] == "fig9" and doc["seed"] == 7
+    assert doc["wall_time_s"] == 1.235
+    assert doc["stage_timings"] == snap["timers"]
+    assert doc["info"] == {"topology_hash": "abc"}
+    assert doc["metrics"]["counters"] == {"core.cache.hit": 5}
+    assert doc["package_version"]
+
+    path = write_manifest(doc, tmp_path / "out")
+    assert path.name == "fig9-small.manifest.json"
+    assert json.loads(path.read_text()) == json.loads(json.dumps(doc))
+    assert not list(path.parent.glob("*.tmp.*"))  # atomic write cleaned up

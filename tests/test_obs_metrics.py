@@ -1,0 +1,231 @@
+"""Metrics-registry semantics: counters, gauges, histograms, spans,
+disabled-mode no-ops, snapshot round-trips and snapshot merging.
+
+The merge tests pin the contract the parallel pipeline relies on: folding
+per-worker snapshots into one registry — in any order — yields exactly
+the totals a single serial registry would have recorded.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, metrics
+from repro.obs.metrics import NOOP
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def _metrics_disabled():
+    """Every test starts and ends with metrics off (module state is global)."""
+    metrics.disable()
+    yield
+    metrics.disable()
+
+
+# ------------------------------------------------------------- primitives
+
+def test_counter_semantics():
+    reg = MetricsRegistry()
+    c = reg.counter("hits")
+    c.inc()
+    c.inc(41)
+    assert c.value == 42
+    assert reg.counter("hits") is c  # same name -> same metric
+    assert reg.snapshot()["counters"] == {"hits": 42}
+
+
+def test_gauge_semantics():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth")
+    g.set(3)
+    g.set(1.5)
+    assert g.value == 1.5  # last-set, not max, within one registry
+    assert reg.snapshot()["gauges"] == {"depth": 1.5}
+
+
+def test_histogram_semantics():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat")
+    for v in [1.0, 2.0, 4.0, 0.5]:
+        h.observe(v)
+    assert h.count == 4
+    assert h.total == 7.5
+    assert h.min == 0.5
+    assert h.max == 4.0
+    assert h.mean == pytest.approx(1.875)
+    doc = h.to_dict()
+    assert sum(doc["buckets"].values()) == doc["count"]
+    # Exact powers of two share a bucket with values just below them.
+    assert doc["min"] == 0.5 and doc["max"] == 4.0
+
+
+def test_empty_histogram_snapshot_is_json_safe():
+    reg = MetricsRegistry()
+    reg.histogram("never")
+    doc = reg.snapshot()["histograms"]["never"]
+    assert doc["count"] == 0
+    assert doc["min"] is None and doc["max"] is None
+    json.dumps(doc)  # no inf/nan leaks
+    assert math.isnan(reg.histogram("never").mean)
+
+
+def test_span_timer():
+    reg = MetricsRegistry()
+    with reg.span("stage.a"):
+        pass
+    with reg.span("stage.a"):
+        pass
+    doc = reg.snapshot()["timers"]["stage.a"]
+    assert doc["count"] == 2
+    assert doc["total"] >= 0.0
+    # Timers live in their own namespace, not among histograms.
+    assert "stage.a" not in reg.snapshot()["histograms"]
+
+
+def test_array_metric_grows():
+    reg = MetricsRegistry()
+    a = reg.array("links", 3)
+    a.add([1, 2, 3])
+    a.add([10, 10, 10, 10])  # longer input grows the accumulator
+    assert reg.snapshot()["arrays"]["links"] == [11, 12, 13, 10]
+
+
+def test_annotate():
+    reg = MetricsRegistry()
+    reg.annotate("topology", "RRG(12,10,6)")
+    assert reg.snapshot()["info"] == {"topology": "RRG(12,10,6)"}
+
+
+# --------------------------------------------------------- disabled mode
+
+def test_disabled_accessors_return_noop():
+    assert not metrics.enabled()
+    assert metrics.active() is None
+    assert metrics.counter("x") is NOOP
+    assert metrics.gauge("x") is NOOP
+    assert metrics.histogram("x") is NOOP
+    assert metrics.array("x", 5) is NOOP
+    assert metrics.span("x") is NOOP
+    assert metrics.snapshot() is None
+    metrics.annotate("k", "v")  # silently dropped
+    metrics.merge_snapshot({"counters": {"x": 1}})  # silently dropped
+
+
+def test_noop_absorbs_every_operation():
+    NOOP.inc()
+    NOOP.inc(5)
+    NOOP.set(3.0)
+    NOOP.observe(1.0)
+    NOOP.add([1, 2])
+    with metrics.span("nothing"):
+        pass
+
+
+def test_enable_disable_roundtrip():
+    reg = metrics.enable()
+    assert metrics.enabled() and metrics.active() is reg
+    metrics.counter("n").inc(7)
+    assert metrics.snapshot()["counters"] == {"n": 7}
+    metrics.disable()
+    assert metrics.snapshot() is None
+
+
+def test_capture_scopes_and_restores():
+    outer = metrics.enable()
+    metrics.counter("n").inc()
+    with metrics.capture() as inner:
+        metrics.counter("n").inc(10)
+        assert metrics.active() is inner
+    assert metrics.active() is outer
+    assert outer.counters["n"].value == 1
+    assert inner.counters["n"].value == 10
+
+
+# ----------------------------------------------------- snapshot and merge
+
+def _populated() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("a").inc(3)
+    reg.gauge("g").set(2.5)
+    for v in [0.25, 1.0, 8.0]:
+        reg.histogram("h").observe(v)
+    with reg.span("t"):
+        pass
+    reg.array("arr", 2).add([5, 6])
+    reg.annotate("who", "test")
+    return reg
+
+
+def test_snapshot_json_roundtrip_merges_identically():
+    snap = _populated().snapshot()
+    assert snap["format"] == metrics.SNAPSHOT_FORMAT
+    wire = json.loads(json.dumps(snap))  # through-JSON round trip
+    reg = MetricsRegistry()
+    reg.merge(wire)
+    again = reg.snapshot()
+    assert again["counters"] == snap["counters"]
+    assert again["gauges"] == snap["gauges"]
+    assert again["histograms"] == snap["histograms"]
+    assert again["arrays"] == snap["arrays"]
+    assert again["info"] == snap["info"]
+    assert again["timers"] == snap["timers"]
+
+
+def _strip_timers(snap: dict) -> dict:
+    return {k: v for k, v in snap.items() if k != "timers"}
+
+
+def test_merged_worker_snapshots_equal_serial_totals():
+    """Two half-runs merged == one full run, section by section."""
+    serial = MetricsRegistry()
+    workers = [MetricsRegistry(), MetricsRegistry()]
+    for i in range(10):
+        for reg in (serial, workers[i % 2]):
+            reg.counter("ops").inc(i)
+            reg.histogram("size").observe(float(i))
+            reg.array("links", 4).add([i, 0, 1, 2])
+            reg.gauge("peak").set(i)
+
+    merged = MetricsRegistry()
+    for w in workers:
+        merged.merge(w.snapshot())
+
+    out, ref = merged.snapshot(), serial.snapshot()
+    assert out["counters"] == ref["counters"]
+    assert out["histograms"] == ref["histograms"]
+    assert out["arrays"] == ref["arrays"]
+    # Gauges merge by max: the serial registry's last-set value was the
+    # maximum here too.
+    assert out["gauges"] == {"peak": 9.0}
+
+
+def test_merge_is_commutative():
+    a = _populated().snapshot()
+    b = MetricsRegistry()
+    b.counter("a").inc(10)
+    b.gauge("g").set(99.0)
+    b.histogram("h").observe(100.0)
+    b.array("arr", 3).add([1, 1, 1])
+    b = b.snapshot()
+
+    ab, ba = MetricsRegistry(), MetricsRegistry()
+    ab.merge(a), ab.merge(b)
+    ba.merge(b), ba.merge(a)
+    assert _strip_timers(ab.snapshot()) == _strip_timers(ba.snapshot())
+
+
+def test_merge_snapshot_into_active_registry():
+    reg = metrics.enable()
+    metrics.merge_snapshot({"counters": {"x": 4}})
+    metrics.merge_snapshot(None)  # worker with telemetry off
+    assert reg.counters["x"].value == 4
+
+
+def test_clear():
+    reg = _populated()
+    reg.clear()
+    snap = reg.snapshot()
+    assert snap["counters"] == {} and snap["arrays"] == {} and snap["info"] == {}

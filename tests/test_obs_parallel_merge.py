@@ -1,0 +1,102 @@
+"""Cross-process telemetry aggregation: parallel == serial, exactly.
+
+The pipeline's contract is that per-worker metric snapshots merge into
+the parent registry to the *identical* totals a serial run records —
+whatever the worker count, shard boundaries, or completion order.  These
+tests run the same workload serially and through a 2-process pool and
+compare full snapshots section by section (timers excluded: wall times
+can never match across runs; everything else must be exact).
+"""
+
+import pytest
+
+from repro import Jellyfish, PathCache
+from repro.netsim import SimConfig
+from repro.netsim.parallel import run_saturation_grid
+from repro.obs import metrics
+from repro.traffic import random_permutation
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def _metrics_disabled():
+    metrics.disable()
+    yield
+    metrics.disable()
+
+
+def _comparable(snap: dict) -> dict:
+    return {
+        k: snap[k] for k in ("counters", "gauges", "histograms", "arrays")
+    }
+
+
+def test_precompute_parallel_merges_serial_telemetry_totals():
+    topo = Jellyfish(12, 10, 6, seed=5)
+    pairs = [(s, d) for s in range(12) for d in range(12) if s != d]
+
+    snaps = {}
+    for processes in (1, 2):
+        metrics.enable()
+        cache = PathCache(topo, "rksp", k=3, seed=0)
+        assert cache.precompute_parallel(pairs, processes=processes) == len(pairs)
+        snaps[processes] = metrics.snapshot()
+        metrics.disable()
+
+    serial, parallel = snaps[1], snaps[2]
+    assert _comparable(serial) == _comparable(parallel)
+    # And the counters actually recorded the warm: one miss per pair plus
+    # the Yen spur-query counters from inside the workers.
+    assert serial["counters"]["core.cache.miss"] == len(pairs)
+    assert serial["counters"]["core.yen.invocations"] == len(pairs)
+    assert serial["counters"]["core.yen.spur_queries"] > 0
+
+
+def test_saturation_grid_merges_serial_telemetry_totals():
+    topo = Jellyfish(8, 6, 4, seed=3)
+    patterns = [random_permutation(topo.n_hosts, seed=s) for s in (0, 1)]
+    cfg = SimConfig(warmup_cycles=40, sample_cycles=40, n_samples=2)
+    kwargs = dict(
+        k=2, rates=(0.2, 0.4), config=cfg, seed=9,
+    )
+
+    results, snaps = {}, {}
+    for processes in (1, 2):
+        metrics.enable()
+        results[processes] = run_saturation_grid(
+            topo, ("ksp", "rksp"), ("random", "ugal"), patterns,
+            processes=processes, **kwargs,
+        )
+        snaps[processes] = metrics.snapshot()
+        metrics.disable()
+
+    # The grid results themselves are pool-invariant...
+    assert results[1] == results[2]
+    # ...and so is every aggregated metric: simulator counters, the VC
+    # occupancy histogram, and the per-scheme link-flit arrays.
+    assert _comparable(snaps[1]) == _comparable(snaps[2])
+    counters = snaps[1]["counters"]
+    n_cells = 2 * 2 * len(patterns)
+    # Sweeps stop early after saturation, so runs is at least one per
+    # cell and at most the full rate ladder.
+    assert n_cells <= counters["netsim.runs"] <= n_cells * len(kwargs["rates"])
+    assert counters["netsim.flits_forwarded"] > 0
+    assert set(snaps[1]["arrays"]) == {
+        "netsim.link_flits/ksp", "netsim.link_flits/rksp"
+    }
+    for arr in snaps[1]["arrays"].values():
+        assert len(arr) == topo.n_switch_links
+        assert sum(arr) > 0
+
+
+def test_grid_without_telemetry_records_nothing():
+    topo = Jellyfish(8, 6, 4, seed=3)
+    patterns = [random_permutation(topo.n_hosts, seed=0)]
+    cfg = SimConfig(warmup_cycles=20, sample_cycles=20, n_samples=1)
+    out = run_saturation_grid(
+        topo, ("ksp",), ("random",), patterns,
+        k=2, rates=(0.2,), config=cfg, seed=9, processes=1,
+    )
+    assert set(out) == {("ksp", "random")}
+    assert metrics.snapshot() is None

@@ -1,0 +1,72 @@
+"""The telemetry-enabled CLI path: flags, manifest files, event logs."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import main
+from repro.obs import log, metrics
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_state():
+    level = log.get_level()
+    yield
+    log.set_level(level)
+    log.close_jsonl()
+    metrics.disable()
+
+
+def test_runner_without_telemetry_stays_silent(capsys):
+    assert main(["table1", "--scale", "small"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out
+    assert "stage timings" not in out
+    assert metrics.snapshot() is None
+
+
+def test_runner_writes_manifest_and_event_log(tmp_path, capsys):
+    out_dir = tmp_path / "tel"
+    assert main([
+        "table1", "--scale", "small",
+        "--telemetry-dir", str(out_dir), "--log-level", "info",
+    ]) == 0
+
+    manifest = json.loads((out_dir / "table1-small.manifest.json").read_text())
+    assert manifest["format"] == "repro-manifest-v1"
+    assert manifest["experiment"] == "table1"
+    assert manifest["scale"] == "small"
+    assert manifest["config"]["processes"] == 1
+    assert "experiment.table1" in manifest["stage_timings"]
+    assert manifest["wall_time_s"] >= 0
+
+    events = [
+        json.loads(line)
+        for line in (out_dir / "table1-small.events.jsonl").read_text().splitlines()
+    ]
+    names = [e["event"] for e in events]
+    assert "experiment_start" in names
+    assert "experiment_done" in names
+    assert "manifest_written" in names
+
+    printed = capsys.readouterr().out
+    assert "stage timings" in printed
+    assert "# manifest:" in printed
+
+    # The registry is torn down after the run.
+    assert metrics.snapshot() is None
+
+
+def test_runner_telemetry_scoped_per_experiment(tmp_path):
+    out_dir = tmp_path / "tel"
+    assert main([
+        "table1", "table2", "--scale", "small", "--telemetry-dir", str(out_dir),
+    ]) == 0
+    for name in ("table1", "table2"):
+        doc = json.loads((out_dir / f"{name}-small.manifest.json").read_text())
+        assert doc["experiment"] == name
+        # Each manifest holds only its own experiment's span.
+        spans = [k for k in doc["stage_timings"] if k.startswith("experiment.")]
+        assert spans == [f"experiment.{name}"]
