@@ -60,9 +60,37 @@ def compare(new_means: dict, base_means: dict, threshold: float):
         yield name, base, new, ratio, gated
 
 
+def _is_manifest(path: Path) -> bool:
+    """True if ``path`` is a run manifest rather than a benchmark export."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        return False
+    fmt = doc.get("format", "") if isinstance(doc, dict) else ""
+    return isinstance(fmt, str) and fmt.startswith("repro-manifest")
+
+
+def _delegate_manifests(args) -> int:
+    """Route manifest inputs to the run differ (``repro.obs.compare``)."""
+    try:
+        from repro.obs.compare import main as compare_runs
+    except ImportError:
+        sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+        from repro.obs.compare import main as compare_runs
+
+    # The run differ takes (base, new); this script takes (new, base).
+    return compare_runs(
+        [str(args.baseline), str(args.new), "--threshold", str(args.threshold)]
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("new", type=Path, help="pytest-benchmark JSON to check")
+    parser.add_argument(
+        "new", type=Path,
+        help="pytest-benchmark JSON (or run manifest) to check",
+    )
     parser.add_argument(
         "baseline", type=Path, nargs="?", default=None,
         help="baseline JSON (default: newest benchmarks/BENCH_*.json)",
@@ -72,6 +100,15 @@ def main(argv=None) -> int:
         help="max allowed slowdown fraction on gated benchmarks (default 0.25)",
     )
     args = parser.parse_args(argv)
+
+    if _is_manifest(args.new):
+        if args.baseline is None:
+            print(
+                "manifest comparison needs an explicit baseline manifest",
+                file=sys.stderr,
+            )
+            return 2
+        return _delegate_manifests(args)
 
     baseline = args.baseline or default_baseline(args.new)
     if baseline is None:

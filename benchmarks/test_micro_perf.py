@@ -13,6 +13,7 @@ from repro.appsim.fairshare import maxmin_rates
 from repro.core.yen import k_shortest_paths
 from repro.netsim import SimConfig, Simulator, UniformTraffic
 from repro.obs import metrics
+from repro.obs import trace
 from repro.topology.metrics import average_shortest_path_length
 from repro.topology.rrg import random_regular_graph
 
@@ -105,3 +106,32 @@ def test_perf_simulator_cycles(benchmark):
     r = benchmark.pedantic(run, rounds=3, iterations=1)
     assert r.delivered > 0
     assert metrics.snapshot() is None
+
+
+@pytest.mark.obs
+def test_perf_simulator_cycles_traced(benchmark):
+    """The same workload with the flight recorder at ``--trace-sample 64``.
+
+    Reports the sampled-tracing overhead next to the untraced run, so the
+    cost of ``--trace-sample 64`` is a number in every benchmark
+    comparison (and, once a committed baseline includes this row, gated
+    like the other ``simulator`` benchmarks).
+    """
+    assert not trace.enabled()
+    topo = Jellyfish(12, 10, 6, seed=7)
+    cache = PathCache(topo, "redksp", k=4, seed=1)
+    cfg = SimConfig(warmup_cycles=100, sample_cycles=100, n_samples=2)
+
+    def run():
+        with trace.capture(sample=64) as rec:
+            sim = Simulator(
+                topo, cache, "ksp_adaptive", UniformTraffic(topo.n_hosts),
+                0.5, cfg, seed=0,
+            )
+            result = sim.run()
+        assert rec.n_packets > 0
+        return result
+
+    r = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert r.delivered > 0
+    assert not trace.enabled()

@@ -20,6 +20,7 @@ __all__ = [
     "ModelError",
     "SimulationError",
     "ConfigurationError",
+    "ComparisonError",
 ]
 
 
@@ -87,3 +88,7 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid experiment/simulator configuration value."""
+
+
+class ComparisonError(ReproError):
+    """Two run artifacts cannot be diffed (incompatible schema/format)."""

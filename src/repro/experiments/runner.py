@@ -21,6 +21,7 @@ from typing import Callable, Dict
 from repro.errors import ConfigurationError
 from repro.obs import log as obs_log
 from repro.obs import metrics
+from repro.obs import trace as obs_trace
 from repro.obs.manifest import build_manifest, write_manifest
 from repro.experiments.base import ExperimentResult
 from repro.experiments.ext_failures import run as run_ext_failures
@@ -91,6 +92,15 @@ def run_experiment(
 
 
 def main(argv=None) -> int:
+    import sys as _sys
+
+    argv = _sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "compare-runs":
+        # Sub-command: diff two run manifests and gate on regression.
+        from repro.obs.compare import main as compare_main
+
+        return compare_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate a table or figure of the paper.",
@@ -130,6 +140,16 @@ def main(argv=None) -> int:
         "plus a structured event log (JSONL) per experiment here",
     )
     parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="enable the packet flight recorder, tracing every Nth injected "
+        "packet (1 = all); writes <experiment>-<scale>.trace.npz and prints "
+        "the latency-decomposition and path-share tables "
+        "(requires --telemetry-dir)",
+    )
+    parser.add_argument(
         "--log-level",
         choices=("debug", "info", "warning", "error"),
         default="warning",
@@ -140,6 +160,11 @@ def main(argv=None) -> int:
 
     obs_log.set_level(args.log_level)
     telemetry_dir = Path(args.telemetry_dir) if args.telemetry_dir else None
+    if args.trace_sample is not None:
+        if args.trace_sample < 1:
+            parser.error("--trace-sample must be >= 1")
+        if telemetry_dir is None:
+            parser.error("--trace-sample requires --telemetry-dir")
 
     store = None
     if args.path_store is not None:
@@ -155,9 +180,11 @@ def main(argv=None) -> int:
     try:
         for name in names:
             if telemetry_dir is not None:
-                # A fresh registry per experiment keeps each manifest's
-                # snapshot scoped to its own run.
+                # A fresh registry (and recorder) per experiment keeps each
+                # manifest's snapshot scoped to its own run.
                 metrics.enable()
+                if args.trace_sample is not None:
+                    obs_trace.enable(sample=args.trace_sample)
                 obs_log.open_jsonl(
                     telemetry_dir / f"{name}-{args.scale}.events.jsonl"
                 )
@@ -189,12 +216,13 @@ def main(argv=None) -> int:
                 _emit_telemetry(name, args, wall, telemetry_dir)
     finally:
         metrics.disable()
+        obs_trace.disable()
         obs_log.close_jsonl()
     return 0
 
 
 def _emit_telemetry(name: str, args, wall: float, telemetry_dir: Path) -> None:
-    """Write the run manifest and print the ASCII telemetry summary."""
+    """Write the run manifest (and trace) and print the ASCII summary."""
     from repro.report import link_load_report, stage_timing_table
 
     snap = metrics.snapshot() or {}
@@ -206,6 +234,7 @@ def _emit_telemetry(name: str, args, wall: float, telemetry_dir: Path) -> None:
             "processes": args.processes,
             "path_store": args.path_store,
             "export_dir": args.export_dir,
+            "trace_sample": args.trace_sample,
         },
         wall_time_s=wall,
         metrics_snapshot=snap,
@@ -220,7 +249,40 @@ def _emit_telemetry(name: str, args, wall: float, telemetry_dir: Path) -> None:
     if link_arrays:
         print()
         print(link_load_report(link_arrays))
+    if args.trace_sample is not None:
+        _emit_trace(name, args, telemetry_dir)
     print(f"# manifest: {path}")
     print()
     obs_log.info("manifest_written", experiment=name, path=str(path))
     obs_log.close_jsonl()
+
+
+def _emit_trace(name: str, args, telemetry_dir: Path) -> None:
+    """Persist the flight-recorder buffers and print trace summaries."""
+    from repro.obs.trace import TraceAnalysis
+    from repro.report import latency_decomposition_table, path_share_table
+
+    tsnap = obs_trace.snapshot()
+    if tsnap is None or not tsnap["n_packets"]:
+        obs_trace.disable()
+        return
+    trace_path = telemetry_dir / f"{name}-{args.scale}.trace.npz"
+    obs_trace.save_trace(trace_path, tsnap)
+    analysis = TraceAnalysis(tsnap)
+    decomp = analysis.latency_decomposition()
+    if decomp:
+        print()
+        print(latency_decomposition_table(decomp))
+    shares = analysis.path_shares()
+    if shares:
+        print()
+        print(path_share_table(shares))
+    print(f"# trace:    {trace_path}")
+    obs_log.info(
+        "trace_written",
+        experiment=name,
+        path=str(trace_path),
+        packets=int(tsnap["n_packets"]),
+        events=int(tsnap["n_events"]),
+    )
+    obs_trace.disable()

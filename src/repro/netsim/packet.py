@@ -36,7 +36,7 @@ class Packet:
 
     __slots__ = (
         "src", "dst", "switches", "route", "hop", "t_create", "t_deliver",
-        "in_link",
+        "in_link", "trace_id",
     )
 
     def __init__(
@@ -58,6 +58,9 @@ class Packet:
         # arrived from its host); lets the simulator decrement the link's
         # occupancy when the packet leaves the downstream buffer.
         self.in_link = -1
+        # Flight-recorder packet id; -1 for untraced packets (the common
+        # case — only sampled packets generate trace events).
+        self.trace_id = -1
 
     @property
     def hops(self) -> int:

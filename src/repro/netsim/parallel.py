@@ -20,6 +20,7 @@ parallel:
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -31,6 +32,7 @@ from repro.netsim.config import SimConfig
 from repro.netsim.sweep import saturation_throughput
 from repro.netsim.simulator import PatternTraffic
 from repro.obs import metrics
+from repro.obs import trace as obs_trace
 from repro.obs.progress import Progress
 from repro.topology.jellyfish import Jellyfish
 from repro.topology.serialization import topology_from_dict, topology_to_dict
@@ -51,13 +53,16 @@ class GridCell:
 
 # Per-worker state built once by the pool initializer: the rebuilt topology
 # and one warmed PathCache per scheme.  The flag records whether the parent
-# had telemetry enabled; cells then run under a captured registry and ship
-# its snapshot home for merging.
+# had telemetry enabled (and the parent's trace configuration, if the
+# flight recorder is on); cells then run under captured registry/recorder
+# instances and ship their snapshots home for merging.
 _GRID_STATE: List[Optional[Tuple[Jellyfish, Dict[str, PathCache]]]] = [None]
 _GRID_OBS: List[bool] = [False]
+_GRID_TRACE: List[Optional[dict]] = [None]
 
 
-def _grid_init(topo_doc, k, cache_seed, states, obs_enabled=False) -> None:
+def _grid_init(topo_doc, k, cache_seed, states, obs_enabled=False,
+               trace_cfg=None) -> None:
     """Pool initializer: rebuild the topology and warmed caches once."""
     topology = topology_from_dict(topo_doc)
     caches: Dict[str, PathCache] = {}
@@ -67,15 +72,19 @@ def _grid_init(topo_doc, k, cache_seed, states, obs_enabled=False) -> None:
         caches[scheme] = cache
     _GRID_STATE[0] = (topology, caches)
     _GRID_OBS[0] = bool(obs_enabled)
+    _GRID_TRACE[0] = dict(trace_cfg) if trace_cfg else None
 
 
-def _run_cell(args) -> Tuple[GridCell, Optional[dict]]:
+def _run_cell(args) -> Tuple[GridCell, Optional[dict], Optional[dict]]:
     """Worker: run one saturation sweep against the initializer's state.
 
     Returns the cell plus a metrics snapshot of everything the sweep
     recorded (simulator flit/stall counters, per-link flit arrays, cache
-    hit/miss counts) when telemetry is on.  Snapshots merge commutatively,
-    so the parent's aggregate is identical for any worker count.
+    hit/miss counts) and a flight-recorder snapshot, each ``None`` when
+    the corresponding subsystem is off.  Metric snapshots merge
+    commutatively; trace snapshots are merged by the parent in task order
+    (``pool.map`` preserves it), so the parent's aggregates are identical
+    for any worker count.
     """
     (
         scheme, mechanism, pattern_index, pattern_flows, n_hosts,
@@ -91,11 +100,23 @@ def _run_cell(args) -> Tuple[GridCell, Optional[dict]]:
         )
         return th
 
-    if not _GRID_OBS[0]:
-        return GridCell(scheme, mechanism, pattern_index, sweep()), None
-    with metrics.capture() as reg:
+    trace_cfg = _GRID_TRACE[0]
+    if not _GRID_OBS[0] and trace_cfg is None:
+        return GridCell(scheme, mechanism, pattern_index, sweep()), None, None
+    with ExitStack() as stack:
+        reg = (
+            stack.enter_context(metrics.capture()) if _GRID_OBS[0] else None
+        )
+        rec = (
+            stack.enter_context(obs_trace.capture(**trace_cfg))
+            if trace_cfg else None
+        )
         th = sweep()
-    return GridCell(scheme, mechanism, pattern_index, th), reg.snapshot()
+    return (
+        GridCell(scheme, mechanism, pattern_index, th),
+        reg.snapshot() if reg is not None else None,
+        rec.snapshot() if rec is not None else None,
+    )
 
 
 def run_saturation_grid(
@@ -152,7 +173,7 @@ def run_saturation_grid(
                 cell += 1
 
     progress = Progress(len(tasks), "saturation-grid")
-    initargs = (topo_doc, k, seed, states, metrics.enabled())
+    initargs = (topo_doc, k, seed, states, metrics.enabled(), obs_trace.config())
     cells: List[GridCell] = []
     if processes == 1:
         # Inline cells use the same per-cell capture-and-merge path as the
@@ -160,21 +181,24 @@ def run_saturation_grid(
         _grid_init(*initargs)
         try:
             for t in tasks:
-                cell, snap = _run_cell(t)
+                cell, snap, tsnap = _run_cell(t)
                 cells.append(cell)
                 metrics.merge_snapshot(snap)
+                obs_trace.merge_snapshot(tsnap)
                 progress.step()
         finally:
             _GRID_STATE[0] = None
             _GRID_OBS[0] = False
+            _GRID_TRACE[0] = None
     else:
         with ProcessPoolExecutor(
             max_workers=processes, initializer=_grid_init, initargs=initargs,
         ) as pool:
             chunksize = max(1, len(tasks) // (4 * processes))
-            for cell, snap in pool.map(_run_cell, tasks, chunksize=chunksize):
+            for cell, snap, tsnap in pool.map(_run_cell, tasks, chunksize=chunksize):
                 cells.append(cell)
                 metrics.merge_snapshot(snap)
+                obs_trace.merge_snapshot(tsnap)
                 progress.step()
 
     out: Dict[Tuple[str, str], List[float]] = {}

@@ -37,6 +37,7 @@ from repro.core.cache import PathCache
 from repro.errors import ConfigurationError, SimulationError, TrafficError
 from repro.netsim.config import SimConfig
 from repro.obs import metrics
+from repro.obs import trace as obs_trace
 from repro.netsim.mechanisms import RoutingMechanism, make_mechanism
 from repro.netsim.network import NetworkWiring
 from repro.netsim.packet import Packet
@@ -254,6 +255,23 @@ class Simulator:
         self.credit_stalls = 0
         self._occupancy_samples: List[int] = []
 
+        # Flight recorder (off by default; the active recorder is fixed at
+        # construction, so hot paths only test one local reference).
+        tr = obs_trace.active()
+        self._trace = tr
+        self._trace_run = -1
+        if tr is not None:
+            self._trace_run = tr.begin_run(
+                scheme=getattr(paths.selector, "name", "unknown"),
+                mechanism=mechanism,
+                rate=self.rate,
+                channel_latency=config.channel_latency,
+                n_hosts=topology.n_hosts,
+            )
+            # (src_sw, dst_sw) -> {path nodes: index in the pair's PathSet},
+            # built lazily so only traced packets pay the lookup.
+            self._trace_path_idx: Dict[Tuple[int, int], Dict[Tuple[int, ...], int]] = {}
+
     # ----------------------------------------------------------- plumbing
     def _buf_idx(self, switch: int, port: int, vc: int) -> int:
         return switch * self._stride_switch + port * self._stride_port + vc
@@ -266,6 +284,7 @@ class Simulator:
     def _process_arrivals(self, now: int) -> None:
         heap = self._arrivals
         cfg = self.config
+        tr = self._trace
         while heap and heap[0][0] <= now:
             _, _, flat_idx, packet = heapq.heappop(heap)
             if flat_idx < 0:
@@ -278,10 +297,23 @@ class Simulator:
                     self._sample_sums[s] += packet.latency
                     self._sample_counts[s] += 1
                     self._latencies.append(packet.latency)
+                if tr is not None and packet.trace_id >= 0:
+                    tr.event(
+                        packet.trace_id, self._trace_run, obs_trace.EV_EJECT,
+                        now, switch=packet.switches[-1],
+                    )
+                    tr.finish(packet.trace_id, now)
             else:
                 self.in_q[flat_idx].append(packet)
                 switch = flat_idx // self._stride_switch
                 self.nonempty[switch].add(flat_idx)
+                if tr is not None and packet.trace_id >= 0:
+                    rem = flat_idx % self._stride_switch
+                    tr.event(
+                        packet.trace_id, self._trace_run,
+                        obs_trace.EV_HOP_ENQUEUE, now, switch=switch,
+                        port=rem // self.n_vcs, vc=rem % self.n_vcs,
+                    )
 
     def _inject(self, now: int) -> None:
         hosts = self.active_hosts
@@ -291,17 +323,33 @@ class Simulator:
         srcs = hosts[draws]
         # One vectorized draw covers every injecting host this cycle.
         dsts = self.traffic.dests(srcs, self.rng)
-        for h, dst in zip(srcs.tolist(), dsts.tolist()):
-            q = self.source_q.get(h)
-            if q is None:
-                q = deque()
-                self.source_q[h] = q
-            q.append((now, dst))
+        tr = self._trace
+        if tr is None:
+            for h, dst in zip(srcs.tolist(), dsts.tolist()):
+                q = self.source_q.get(h)
+                if q is None:
+                    q = deque()
+                    self.source_q[h] = q
+                q.append((now, dst))
+        else:
+            sw_of = self._switch_of_host
+            for h, dst in zip(srcs.tolist(), dsts.tolist()):
+                q = self.source_q.get(h)
+                if q is None:
+                    q = deque()
+                    self.source_q[h] = q
+                uid = tr.sample_packet(
+                    self._trace_run, h, dst,
+                    int(sw_of[h]), int(sw_of[dst]), now,
+                )
+                q.append((now, dst, uid))
         self.injected += len(srcs)
 
     def _launch_from_sources(self, now: int) -> None:
         cfg = self.config
         wiring = self.wiring
+        tr = self._trace
+        tracing = tr is not None
         stalls = 0
         for h, q in self.source_q.items():
             if not q:
@@ -311,8 +359,17 @@ class Simulator:
             idx = self._buf_idx(sw, inj_port, 0)
             if self.free[idx] <= 0:
                 stalls += 1
+                if tracing and q[0][-1] >= 0:
+                    tr.event(
+                        q[0][-1], self._trace_run, obs_trace.EV_CREDIT_STALL,
+                        now, switch=sw, port=inj_port, vc=0,
+                    )
                 continue
-            t_create, dst = q.popleft()
+            if tracing:
+                t_create, dst, uid = q.popleft()
+            else:
+                t_create, dst = q.popleft()
+                uid = -1
             dst_sw = int(self._switch_of_host[dst])
             nodes = tuple(self.mechanism.choose(h, dst, sw, dst_sw))
             route = self._route_cache.get((nodes, dst))
@@ -320,6 +377,18 @@ class Simulator:
                 route = wiring.route_ports(nodes, dst)
                 self._route_cache[(nodes, dst)] = route
             packet = Packet(h, dst, nodes, route, t_create)
+            if uid >= 0:
+                packet.trace_id = uid
+                idx_map = self._trace_path_idx.get((sw, dst_sw))
+                if idx_map is None:
+                    ps = self.paths.get(sw, dst_sw)
+                    idx_map = {p.nodes: i for i, p in enumerate(ps)}
+                    self._trace_path_idx[(sw, dst_sw)] = idx_map
+                tr.set_route(uid, idx_map.get(nodes, -1), nodes, now)
+                tr.event(
+                    uid, self._trace_run, obs_trace.EV_VC_ALLOC, now,
+                    switch=sw, port=inj_port, vc=0,
+                )
             self.free[idx] -= 1
             self._push_arrival(now + cfg.channel_latency, idx, packet)
         self.credit_stalls += stalls
@@ -329,6 +398,8 @@ class Simulator:
         wiring = self.wiring
         n_vcs = self.n_vcs
         eject_base = wiring.n_switch_ports
+        tr = self._trace
+        tracing = tr is not None
         stalls = 0
         forwarded = 0
         for switch in range(self.topology.n_switches):
@@ -348,6 +419,12 @@ class Simulator:
                     )
                     if self.free[nxt_idx] <= 0:
                         stalls += 1
+                        if tracing and packet.trace_id >= 0:
+                            tr.event(
+                                packet.trace_id, self._trace_run,
+                                obs_trace.EV_CREDIT_STALL, now, switch=switch,
+                                port=out_port, vc=packet.hop,
+                            )
                         continue
                 requests.setdefault(out_port, []).append(flat_idx)
 
@@ -384,6 +461,12 @@ class Simulator:
                     packet.in_link = -1
 
                 if out_port >= eject_base:
+                    if tracing and packet.trace_id >= 0:
+                        tr.event(
+                            packet.trace_id, self._trace_run,
+                            obs_trace.EV_HOP_DEPART, now, switch=switch,
+                            port=out_port, vc=packet.hop,
+                        )
                     self._push_arrival(now + cfg.channel_latency, -1, packet)
                 else:
                     nxt = self.topology.adjacency[switch][out_port]
@@ -396,6 +479,12 @@ class Simulator:
                     forwarded += 1
                     if now >= self._measure_start:
                         self._link_flits[link] += 1
+                    if tracing and packet.trace_id >= 0:
+                        tr.event(
+                            packet.trace_id, self._trace_run,
+                            obs_trace.EV_HOP_DEPART, now, switch=switch,
+                            port=out_port, vc=packet.hop, link=link,
+                        )
                     packet.in_link = link
                     packet.hop += 1
                     self._push_arrival(now + cfg.channel_latency, nxt_idx, packet)

@@ -1,30 +1,42 @@
-"""Observability for the repro pipeline: metrics, logs, progress, manifests.
+"""Observability for the repro pipeline: metrics, logs, traces, manifests.
 
 - :mod:`repro.obs.metrics` — counters / gauges / histograms / span timers /
   per-link arrays with a no-op fast path when disabled and snapshot+merge
   semantics for cross-process aggregation;
+- :mod:`repro.obs.trace` — packet-level flight recorder (columnar ring
+  buffers, head-based sampling) plus latency decomposition, stall
+  attribution and a route-membership audit;
+- :mod:`repro.obs.compare` — cross-run regression diffing of manifests
+  (``python -m repro.experiments compare-runs A B``);
 - :mod:`repro.obs.log` — structured events (stderr + JSONL + handlers);
 - :mod:`repro.obs.progress` — completed/total + ETA reporting;
 - :mod:`repro.obs.manifest` — per-run JSON manifests.
 
 Typical embedding use::
 
-    from repro.obs import metrics
+    from repro.obs import metrics, trace
     reg = metrics.enable()            # opt in (off by default)
+    rec = trace.enable(sample=64)     # record every 64th packet
     ... run experiments ...
     snap = reg.snapshot()             # JSON-able totals
+    trace.save_trace("run.trace.npz")
 """
 
-from repro.obs import log, metrics
+from repro.obs import compare, log, metrics, trace
 from repro.obs.manifest import build_manifest, topology_hash, write_manifest
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.progress import Progress
+from repro.obs.trace import TraceAnalysis, TraceRecorder
 
 __all__ = [
+    "compare",
     "log",
     "metrics",
+    "trace",
     "MetricsRegistry",
     "Progress",
+    "TraceAnalysis",
+    "TraceRecorder",
     "build_manifest",
     "topology_hash",
     "write_manifest",

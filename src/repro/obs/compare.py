@@ -1,0 +1,207 @@
+"""Cross-run regression diffing of run manifests.
+
+PR 2's manifests record what a run did (stage timings, metric snapshot);
+this module makes them *enforceable*: :func:`compare_manifests` diffs two
+manifests with configurable relative thresholds, and the CLI entry point
+(``python -m repro.experiments compare-runs A.manifest.json
+B.manifest.json``) exits non-zero on regression so CI can gate on it.
+
+What is compared:
+
+- **stage timings** — each span's total seconds; a stage that got slower
+  by more than ``timing_threshold`` (and whose baseline total is above
+  the ``min_seconds`` noise floor) is a gating regression;
+- **metric counters** — relative drift in either direction; gated only
+  when ``metric_threshold`` is given (counters are deterministic for a
+  fixed seed, so a drift gate doubles as a reproducibility check);
+- **wall time** — reported, never gated (too noisy across machines).
+
+Manifests from different schema versions refuse to diff with a clear
+:class:`~repro.errors.ComparisonError` rather than producing a silently
+meaningless comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Mapping, Optional
+
+from repro.errors import ComparisonError
+
+__all__ = ["Delta", "ManifestDiff", "compare_manifests", "load_manifest", "main"]
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One compared quantity of the two manifests."""
+
+    kind: str        # "timing" | "counter" | "wall"
+    name: str
+    base: float
+    new: float
+    regression: bool
+
+    @property
+    def ratio(self) -> float:
+        if self.base > 0:
+            return self.new / self.base
+        return float("inf") if self.new > 0 else 1.0
+
+
+@dataclass
+class ManifestDiff:
+    """The full comparison: every delta plus the gating subset."""
+
+    deltas: List[Delta] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)  # in base, not in new
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas if d.regression]
+
+    def render(self) -> str:
+        lines = [
+            f"{'quantity':44s} {'base':>12s} {'new':>12s} {'delta':>8s}"
+        ]
+        for d in self.deltas:
+            delta = 100.0 * (d.ratio - 1.0) if d.base > 0 else float("inf")
+            flag = "  REGRESSION" if d.regression else ""
+            lines.append(
+                f"{d.kind + ':' + d.name:44s} {d.base:12.4f} {d.new:12.4f}"
+                f" {delta:+7.1f}%{flag}"
+            )
+        if self.missing:
+            lines.append(f"not in new manifest: {', '.join(self.missing)}")
+        n = len(self.regressions)
+        lines.append(
+            f"{n} regression(s)" if n else "no regressions"
+        )
+        return "\n".join(lines)
+
+
+def _check_comparable(base: Mapping, new: Mapping) -> None:
+    for key in ("format", "schema_version"):
+        a, b = base.get(key), new.get(key)
+        if a != b:
+            raise ComparisonError(
+                f"manifests are not comparable: {key} {a!r} != {b!r} "
+                "(regenerate the baseline with this package version)"
+            )
+
+
+def compare_manifests(
+    base: Mapping,
+    new: Mapping,
+    *,
+    timing_threshold: float = 0.25,
+    metric_threshold: Optional[float] = None,
+    min_seconds: float = 0.05,
+) -> ManifestDiff:
+    """Diff two manifest documents; see the module docstring for gating."""
+    _check_comparable(base, new)
+    diff = ManifestDiff()
+
+    diff.deltas.append(
+        Delta(
+            "wall", "wall_time_s",
+            float(base.get("wall_time_s", 0.0)),
+            float(new.get("wall_time_s", 0.0)),
+            regression=False,
+        )
+    )
+
+    base_timings = base.get("stage_timings", {})
+    new_timings = new.get("stage_timings", {})
+    for name in sorted(base_timings):
+        doc = base_timings[name]
+        b = float(doc.get("total", 0.0))
+        if name not in new_timings:
+            diff.missing.append(f"timing:{name}")
+            continue
+        n = float(new_timings[name].get("total", 0.0))
+        regressed = b >= min_seconds and n > b * (1.0 + timing_threshold)
+        diff.deltas.append(Delta("timing", name, b, n, regressed))
+
+    base_counters = base.get("metrics", {}).get("counters", {})
+    new_counters = new.get("metrics", {}).get("counters", {})
+    for name in sorted(base_counters):
+        b = float(base_counters[name])
+        if name not in new_counters:
+            diff.missing.append(f"counter:{name}")
+            continue
+        n = float(new_counters[name])
+        regressed = False
+        if metric_threshold is not None:
+            if b > 0:
+                regressed = abs(n / b - 1.0) > metric_threshold
+            else:
+                regressed = n > 0
+        diff.deltas.append(Delta("counter", name, b, n, regressed))
+
+    return diff
+
+
+def load_manifest(path) -> dict:
+    """Read one manifest JSON, validating it looks like a manifest."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ComparisonError(f"cannot read manifest {path}: {exc}") from exc
+    fmt = doc.get("format", "")
+    if not isinstance(fmt, str) or not fmt.startswith("repro-manifest"):
+        raise ComparisonError(
+            f"{path} is not a run manifest (format={fmt!r})"
+        )
+    return doc
+
+
+def main(argv=None) -> int:
+    """CLI: diff two manifests, exit 1 on regression, 2 on refusal."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments compare-runs",
+        description="Diff two run manifests and fail on regression.",
+    )
+    parser.add_argument("base", type=Path, help="baseline manifest JSON")
+    parser.add_argument("new", type=Path, help="manifest JSON to check")
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="max allowed relative stage-timing slowdown (default 0.25)",
+    )
+    parser.add_argument(
+        "--metric-threshold", type=float, default=None,
+        help="gate metric counters drifting more than this fraction in "
+        "either direction (default: report only)",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=0.05,
+        help="ignore timing regressions on stages whose baseline total is "
+        "below this noise floor (default 0.05s)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        base = load_manifest(args.base)
+        new = load_manifest(args.new)
+        diff = compare_manifests(
+            base, new,
+            timing_threshold=args.threshold,
+            metric_threshold=args.metric_threshold,
+            min_seconds=args.min_seconds,
+        )
+    except ComparisonError as exc:
+        print(f"compare-runs: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"baseline: {args.base}")
+    print(f"new:      {args.new}\n")
+    print(diff.render())
+    return 1 if diff.regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ import json
 import sys
 import threading
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
@@ -34,6 +35,7 @@ __all__ = [
     "remove_handler",
     "open_jsonl",
     "close_jsonl",
+    "jsonl_sink",
     "log",
     "debug",
     "info",
@@ -81,14 +83,19 @@ def remove_handler(handler: Callable[[dict], None]) -> None:
 
 
 def open_jsonl(path) -> Path:
-    """Append emitted records to ``path`` as JSON lines (the event log)."""
+    """Append emitted records to ``path`` as JSON lines (the event log).
+
+    The file is line-buffered (on top of the explicit flush after every
+    record) so a crashed run still leaves a complete log of everything
+    emitted before the crash.
+    """
     global _jsonl
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with _lock:
         if _jsonl is not None:
             _jsonl.close()
-        _jsonl = open(path, "a", encoding="utf-8")
+        _jsonl = open(path, "a", encoding="utf-8", buffering=1)
     return path
 
 
@@ -98,6 +105,20 @@ def close_jsonl() -> None:
         if _jsonl is not None:
             _jsonl.close()
             _jsonl = None
+
+
+@contextmanager
+def jsonl_sink(path):
+    """Context manager form of :func:`open_jsonl` / :func:`close_jsonl`.
+
+    Yields the resolved path; the sink is closed on exit even if the body
+    raises, so embedders don't need their own try/finally.
+    """
+    resolved = open_jsonl(path)
+    try:
+        yield resolved
+    finally:
+        close_jsonl()
 
 
 def _human_line(record: dict) -> str:

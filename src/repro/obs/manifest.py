@@ -14,14 +14,39 @@ import hashlib
 import json
 import os
 import platform
+import subprocess
 import sys
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Mapping, Optional
 
-__all__ = ["MANIFEST_FORMAT", "topology_hash", "build_manifest", "write_manifest"]
+__all__ = [
+    "MANIFEST_FORMAT",
+    "MANIFEST_SCHEMA_VERSION",
+    "topology_hash",
+    "build_manifest",
+    "write_manifest",
+]
 
 MANIFEST_FORMAT = "repro-manifest-v1"
+
+#: Bump when manifest fields change shape; ``compare-runs`` refuses to
+#: diff manifests across schema versions.
+MANIFEST_SCHEMA_VERSION = 2
+
+
+def _git_commit() -> Optional[str]:
+    """The repository's HEAD commit, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):  # pragma: no cover
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
 
 
 def topology_hash(topology) -> str:
@@ -59,10 +84,12 @@ def build_manifest(
     snap = metrics_snapshot or {}
     return {
         "format": MANIFEST_FORMAT,
+        "schema_version": MANIFEST_SCHEMA_VERSION,
         "experiment": experiment,
         "scale": scale,
         "seed": seed,
         "package_version": repro.__version__,
+        "git_commit": _git_commit(),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),

@@ -12,7 +12,17 @@ import time
 
 from repro.obs import log
 
-__all__ = ["Progress"]
+__all__ = ["Progress", "format_eta"]
+
+
+def format_eta(seconds: float) -> str:
+    """``h:mm:ss`` above one hour, ``m:ss`` below (``"3:20:00"``, ``"0:45"``)."""
+    s = max(0, int(round(seconds)))
+    h, rem = divmod(s, 3600)
+    m, sec = divmod(rem, 60)
+    if h:
+        return f"{h}:{m:02d}:{sec:02d}"
+    return f"{m}:{sec:02d}"
 
 
 class Progress:
@@ -45,9 +55,15 @@ class Progress:
             return
         self._last_log = now
         elapsed = now - self._t0
-        rate = self.done / elapsed if elapsed > 0 else 0.0
         remaining = max(0, self.total - self.done)
-        eta = remaining / rate if rate > 0 else float("nan")
+        # ETA only once there is a measurable rate: the first step() can
+        # land with zero elapsed time (coarse clocks) or zero completed
+        # work, either of which would extrapolate to inf/nan.
+        eta = None
+        if remaining == 0:
+            eta = 0.0
+        elif elapsed > 0 and self.done > 0:
+            eta = remaining * elapsed / self.done
         log.info(
             "progress",
             label=self.label,
@@ -55,5 +71,6 @@ class Progress:
             total=self.total,
             pct=round(100.0 * self.done / self.total, 1) if self.total else 100.0,
             elapsed_s=round(elapsed, 2),
-            eta_s=round(eta, 2) if eta == eta else None,
+            eta_s=None if eta is None else round(eta, 2),
+            eta=None if eta is None else format_eta(eta),
         )

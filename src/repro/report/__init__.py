@@ -2,13 +2,16 @@
 
 The experiment drivers print paper-shaped tables; this package adds the
 figure-shaped views (latency-load curves, throughput bars) as terminal
-charts, plus machine-readable exports for downstream analysis.
+charts, trace summaries (latency decomposition, path-share tables), plus
+machine-readable exports for downstream analysis.
 """
 
 from repro.report.ascii import (
     bar_chart,
+    latency_decomposition_table,
     line_chart,
     link_load_report,
+    path_share_table,
     stage_timing_table,
 )
 from repro.report.export import result_to_csv, result_to_json, save_result
@@ -17,6 +20,8 @@ __all__ = [
     "bar_chart",
     "line_chart",
     "link_load_report",
+    "latency_decomposition_table",
+    "path_share_table",
     "stage_timing_table",
     "result_to_csv",
     "result_to_json",

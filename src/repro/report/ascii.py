@@ -17,7 +17,14 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.utils.tables import format_table
 
-__all__ = ["line_chart", "bar_chart", "stage_timing_table", "link_load_report"]
+__all__ = [
+    "line_chart",
+    "bar_chart",
+    "stage_timing_table",
+    "link_load_report",
+    "latency_decomposition_table",
+    "path_share_table",
+]
 
 _MARKERS = "ox+*#@%&"
 
@@ -169,3 +176,70 @@ def link_load_report(
         title=title,
     )
     return out + "\n" + "\n".join(hottest_lines)
+
+
+def latency_decomposition_table(
+    decomp: Mapping[str, Mapping],
+    *,
+    title: str = "latency decomposition (cycles)",
+) -> str:
+    """Render a :meth:`TraceAnalysis.latency_decomposition` result.
+
+    One row per ``scheme/mechanism`` label: how many packets were traced
+    to delivery and where their cycles went — waiting at the source NIC,
+    queued inside switches, or pure serialization (channel traversals).
+    The three components sum to the total, so a scheme whose ``switch
+    queue`` column dominates is congestion-bound, not path-length-bound.
+    """
+    if not decomp:
+        return f"{title}: (no delivered packets traced)"
+    rows = []
+    for label, doc in sorted(decomp.items()):
+        rows.append(
+            [
+                label,
+                int(doc["count"]),
+                round(float(doc["mean_total"]), 1),
+                round(float(doc["mean_source_queue"]), 1),
+                round(float(doc["mean_switch_queue"]), 1),
+                round(float(doc["mean_serialization"]), 1),
+                round(float(doc["mean_hops"]), 2),
+            ]
+        )
+    return format_table(
+        ["run", "packets", "total", "src queue", "switch queue", "serialize", "hops"],
+        rows,
+        title=title,
+    )
+
+
+def path_share_table(
+    shares: Mapping[str, Mapping[int, int]],
+    *,
+    title: str = "path-index load share",
+) -> str:
+    """Render a :meth:`TraceAnalysis.path_shares` result.
+
+    One row per ``scheme/mechanism`` label showing what fraction of traced
+    packets took each precomputed path index (``k0`` is the shortest
+    path).  ``off-table`` counts packets routed outside the k-path set —
+    Valiant composites under vanilla UGAL; anything else would be flagged
+    by the route audit.
+    """
+    if not shares:
+        return f"{title}: (no routed packets traced)"
+    indices = sorted(
+        {i for dist in shares.values() for i in dist if i >= 0}
+    )
+    header = ["run", "packets"] + [f"k{i}" for i in indices] + ["off-table"]
+    rows = []
+    for label, dist in sorted(shares.items()):
+        total = sum(dist.values())
+        row = [label, total]
+        for i in indices:
+            pct = 100.0 * dist.get(i, 0) / total if total else 0.0
+            row.append(f"{pct:.1f}%")
+        off = 100.0 * dist.get(-1, 0) / total if total else 0.0
+        row.append(f"{off:.1f}%")
+        rows.append(row)
+    return format_table(header, rows, title=title)

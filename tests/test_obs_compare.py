@@ -1,0 +1,145 @@
+"""Cross-run regression diffing: thresholds, schema refusal, exit codes.
+
+``python -m repro.experiments compare-runs A B`` is CI's regression gate,
+so the exit-code contract is pinned here: 0 for a clean diff, 1 when a
+gated quantity regressed, 2 when the manifests refuse to compare.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ComparisonError
+from repro.experiments.runner import main as runner_main
+from repro.obs.compare import compare_manifests, load_manifest
+from repro.obs.manifest import (
+    MANIFEST_FORMAT,
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _manifest(stage_total=1.0, counters=None, wall=2.0):
+    snap = {
+        "timers": {"experiment.fig9": {"count": 1, "total": stage_total}},
+        "counters": counters or {"netsim.flits_forwarded": 1000},
+    }
+    return build_manifest(
+        experiment="fig9", scale="small", seed=0,
+        wall_time_s=wall, metrics_snapshot=snap,
+    )
+
+
+# ------------------------------------------------------------- documents
+
+def test_manifest_carries_schema_and_provenance():
+    doc = _manifest()
+    assert doc["format"] == MANIFEST_FORMAT
+    assert doc["schema_version"] == MANIFEST_SCHEMA_VERSION
+    assert doc["package_version"]
+    # Best-effort provenance: a hex commit inside a git checkout, else None.
+    commit = doc["git_commit"]
+    assert commit is None or (
+        isinstance(commit, str) and len(commit) == 40
+    )
+
+
+def test_identical_manifests_have_no_regressions():
+    diff = compare_manifests(_manifest(), _manifest())
+    assert diff.regressions == []
+    kinds = {d.kind for d in diff.deltas}
+    assert kinds == {"wall", "timing", "counter"}
+
+
+def test_slowed_stage_is_a_regression():
+    diff = compare_manifests(
+        _manifest(stage_total=1.0), _manifest(stage_total=1.5),
+        timing_threshold=0.25,
+    )
+    names = [d.name for d in diff.regressions]
+    assert names == ["experiment.fig9"]
+    assert "REGRESSION" in diff.render()
+
+
+def test_noise_floor_suppresses_fast_stages():
+    diff = compare_manifests(
+        _manifest(stage_total=0.01), _manifest(stage_total=0.04),
+        timing_threshold=0.25, min_seconds=0.05,
+    )
+    assert diff.regressions == []
+
+
+def test_wall_time_reported_but_never_gated():
+    diff = compare_manifests(_manifest(wall=1.0), _manifest(wall=100.0))
+    wall = [d for d in diff.deltas if d.kind == "wall"]
+    assert len(wall) == 1 and not wall[0].regression
+
+
+def test_counters_gated_only_with_metric_threshold():
+    base = _manifest(counters={"netsim.flits_forwarded": 1000})
+    new = _manifest(counters={"netsim.flits_forwarded": 1200})
+    assert compare_manifests(base, new).regressions == []
+    diff = compare_manifests(base, new, metric_threshold=0.1)
+    assert [d.name for d in diff.regressions] == ["netsim.flits_forwarded"]
+    # Drift gates both directions (a counter dropping is as suspicious).
+    down = _manifest(counters={"netsim.flits_forwarded": 800})
+    assert compare_manifests(base, down, metric_threshold=0.1).regressions
+
+
+def test_missing_quantities_reported():
+    base = _manifest(counters={"a": 1, "b": 2})
+    new = _manifest(counters={"a": 1})
+    diff = compare_manifests(base, new)
+    assert diff.missing == ["counter:b"]
+    assert "not in new manifest" in diff.render()
+
+
+def test_cross_schema_diff_refused():
+    base, new = _manifest(), _manifest()
+    new["schema_version"] = MANIFEST_SCHEMA_VERSION + 1
+    with pytest.raises(ComparisonError, match="schema_version"):
+        compare_manifests(base, new)
+
+
+def test_load_manifest_rejects_non_manifest(tmp_path):
+    path = tmp_path / "x.json"
+    path.write_text(json.dumps({"format": "something-else"}))
+    with pytest.raises(ComparisonError, match="not a run manifest"):
+        load_manifest(path)
+    with pytest.raises(ComparisonError, match="cannot read"):
+        load_manifest(tmp_path / "absent.json")
+
+
+# ------------------------------------------------------------------ CLI
+
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_cli_exit_zero_on_identical(tmp_path, capsys):
+    a = _write(tmp_path, "a.json", _manifest())
+    b = _write(tmp_path, "b.json", _manifest())
+    assert runner_main(["compare-runs", a, b]) == 0
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_cli_exit_one_on_timing_regression(tmp_path, capsys):
+    a = _write(tmp_path, "a.json", _manifest(stage_total=1.0))
+    b = _write(tmp_path, "b.json", _manifest(stage_total=2.0))
+    assert runner_main(["compare-runs", a, b]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+    # A looser threshold accepts the same pair.
+    assert runner_main(["compare-runs", a, b, "--threshold", "1.5"]) == 0
+
+
+def test_cli_exit_two_on_schema_mismatch(tmp_path, capsys):
+    doc = _manifest()
+    a = _write(tmp_path, "a.json", doc)
+    other = dict(doc, schema_version=MANIFEST_SCHEMA_VERSION + 1)
+    b = _write(tmp_path, "b.json", other)
+    assert runner_main(["compare-runs", a, b]) == 2
+    assert "not comparable" in capsys.readouterr().err

@@ -6,7 +6,8 @@ import pytest
 
 from repro import Jellyfish
 from repro.obs import Progress, build_manifest, log, topology_hash, write_manifest
-from repro.obs.manifest import MANIFEST_FORMAT
+from repro.obs.manifest import MANIFEST_FORMAT, MANIFEST_SCHEMA_VERSION
+from repro.obs.progress import format_eta
 
 pytestmark = pytest.mark.obs
 
@@ -65,6 +66,39 @@ def test_jsonl_sink(tmp_path):
     assert records[1]["b"] == [1, 2]
 
 
+def test_jsonl_records_durable_before_close(tmp_path):
+    """Every record is on disk as soon as it is emitted (flush-on-write),
+    so a crashed run still leaves a complete event log."""
+    target = tmp_path / "run.events.jsonl"
+    log.open_jsonl(target)
+    log.warning("mid_run", n=1)
+    # Read back while the sink is still open.
+    records = [json.loads(line) for line in target.read_text().splitlines()]
+    assert [r["event"] for r in records] == ["mid_run"]
+    log.close_jsonl()
+
+
+def test_jsonl_sink_context_manager(tmp_path):
+    target = tmp_path / "run.events.jsonl"
+    with log.jsonl_sink(target) as path:
+        assert path == target
+        log.warning("inside")
+    log.warning("outside")  # sink is closed: not written to the file
+    records = [json.loads(line) for line in target.read_text().splitlines()]
+    assert [r["event"] for r in records] == ["inside"]
+
+
+def test_jsonl_sink_closes_on_error(tmp_path):
+    target = tmp_path / "run.events.jsonl"
+    with pytest.raises(RuntimeError, match="boom"):
+        with log.jsonl_sink(target):
+            log.warning("before_crash")
+            raise RuntimeError("boom")
+    log.warning("after_crash")  # must not land in the file
+    records = [json.loads(line) for line in target.read_text().splitlines()]
+    assert [r["event"] for r in records] == ["before_crash"]
+
+
 # ------------------------------------------------------------- progress
 
 def test_progress_reports_completion_and_eta(events):
@@ -89,6 +123,60 @@ def test_progress_rate_limited_but_final_always_logs(events):
     progress = [e for e in events if e["event"] == "progress"]
     # First step logs (timer starts at -inf), then silence until the last.
     assert [e["completed"] for e in progress] == [1, 100]
+
+
+def test_format_eta_rendering():
+    assert format_eta(0) == "0:00"
+    assert format_eta(45) == "0:45"
+    assert format_eta(75.4) == "1:15"
+    assert format_eta(3599) == "59:59"
+    assert format_eta(3600) == "1:00:00"
+    assert format_eta(12000) == "3:20:00"
+    assert format_eta(-5) == "0:00"  # clamped, never negative
+
+
+class _FakeTime:
+    """Deterministic monotonic clock for pinning the ETA math."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def monotonic(self):
+        return self.now
+
+
+def test_progress_eta_guards_zero_elapsed_and_zero_rate(events, monkeypatch):
+    log.set_level("info")
+    clock = _FakeTime()
+    monkeypatch.setattr("repro.obs.progress.time", clock)
+    p = Progress(4, "guard", min_interval=0.0)
+    # First step lands with zero elapsed time: no rate yet, ETA unknown —
+    # never inf or nan.
+    p.step()
+    first = [e for e in events if e["event"] == "progress"][-1]
+    assert first["eta_s"] is None and first["eta"] is None
+    # With measurable progress the ETA extrapolates from the rate.
+    clock.now += 10.0
+    p.step()
+    second = [e for e in events if e["event"] == "progress"][-1]
+    assert second["eta_s"] == pytest.approx(10.0)  # 2 done in 10s, 2 left
+    assert second["eta"] == "0:10"
+    # Completion always reports a zero ETA.
+    p.step(2)
+    last = [e for e in events if e["event"] == "progress"][-1]
+    assert last["eta_s"] == 0.0 and last["eta"] == "0:00"
+
+
+def test_progress_eta_renders_hours(events, monkeypatch):
+    log.set_level("info")
+    clock = _FakeTime()
+    monkeypatch.setattr("repro.obs.progress.time", clock)
+    p = Progress(3, "slow", min_interval=0.0)
+    clock.now += 3600.0  # one item per hour -> two hours left
+    p.step()
+    rec = [e for e in events if e["event"] == "progress"][-1]
+    assert rec["eta_s"] == pytest.approx(7200.0)
+    assert rec["eta"] == "2:00:00"
 
 
 # ------------------------------------------------------------- manifest
@@ -117,6 +205,8 @@ def test_build_and_write_manifest(tmp_path):
         metrics_snapshot=snap,
     )
     assert doc["format"] == MANIFEST_FORMAT
+    assert doc["schema_version"] == MANIFEST_SCHEMA_VERSION
+    assert doc["git_commit"] is None or len(doc["git_commit"]) == 40
     assert doc["experiment"] == "fig9" and doc["seed"] == 7
     assert doc["wall_time_s"] == 1.235
     assert doc["stage_timings"] == snap["timers"]

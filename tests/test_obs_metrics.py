@@ -229,3 +229,66 @@ def test_clear():
     reg.clear()
     snap = reg.snapshot()
     assert snap["counters"] == {} and snap["arrays"] == {} and snap["info"] == {}
+
+
+# ------------------------------------------- growth and mismatched merges
+
+def test_array_metric_grown_to_preserves_and_pads():
+    from repro.obs.metrics import ArrayMetric
+
+    a = ArrayMetric("links", 3)
+    a.add([1, 2, 3])
+    grown = a._grown_to(5)
+    assert grown is a.values and len(a.values) == 5
+    assert a.values.tolist() == [1, 2, 3, 0, 0]
+    # Shrinking never happens: a smaller request returns the same buffer.
+    assert a._grown_to(2) is a.values and len(a.values) == 5
+    a.add([1] * 5)
+    assert a.values.tolist() == [2, 3, 4, 1, 1]
+
+
+def test_array_merge_mismatched_sizes_both_orders():
+    """A short-array snapshot merges into a long accumulator and vice
+    versa; the result is elementwise addition padded with zeros."""
+    short = MetricsRegistry()
+    short.array("links", 2).add([1, 2])
+    long = MetricsRegistry()
+    long.array("links", 4).add([10, 10, 10, 10])
+
+    a = MetricsRegistry()
+    a.merge(short.snapshot())
+    a.merge(long.snapshot())
+    b = MetricsRegistry()
+    b.merge(long.snapshot())
+    b.merge(short.snapshot())
+    expect = [11, 12, 10, 10]
+    assert a.snapshot()["arrays"]["links"] == expect
+    assert b.snapshot()["arrays"]["links"] == expect
+
+
+def test_histogram_merge_dict_with_unseen_buckets():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat")
+    h.observe(1.0)
+    # A worker document whose buckets this histogram has never seen
+    # (including the through-JSON case where keys arrive as strings).
+    h.merge_dict({
+        "count": 3,
+        "total": 300.0,
+        "min": 50.0,
+        "max": 200.0,
+        "buckets": {"6": 1, "8": 2},
+    })
+    assert h.count == 4
+    assert h.total == 301.0
+    assert h.min == 1.0 and h.max == 200.0
+    assert h.buckets[6] == 1 and h.buckets[8] == 2
+    assert sum(h.to_dict()["buckets"].values()) == 4
+
+
+def test_histogram_merge_dict_empty_document_keeps_bounds():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat")
+    h.observe(2.0)
+    h.merge_dict({"count": 0, "total": 0.0, "min": None, "max": None})
+    assert h.count == 1 and h.min == 2.0 and h.max == 2.0
