@@ -13,6 +13,7 @@ from repro.appsim.fairshare import maxmin_rates
 from repro.core.yen import k_shortest_paths
 from repro.netsim import SimConfig, Simulator, UniformTraffic
 from repro.obs import metrics
+from repro.obs import timeseries
 from repro.obs import trace
 from repro.topology.metrics import average_shortest_path_length
 from repro.topology.rrg import random_regular_graph
@@ -92,6 +93,7 @@ def test_perf_simulator_cycles(benchmark):
     disabled-mode overhead above the threshold fails the perf harness.
     """
     assert not metrics.enabled()
+    assert not timeseries.enabled()
     topo = Jellyfish(12, 10, 6, seed=7)
     cache = PathCache(topo, "redksp", k=4, seed=1)
     cfg = SimConfig(warmup_cycles=100, sample_cycles=100, n_samples=2)
@@ -135,3 +137,32 @@ def test_perf_simulator_cycles_traced(benchmark):
     r = benchmark.pedantic(run, rounds=3, iterations=1)
     assert r.delivered > 0
     assert not trace.enabled()
+
+
+@pytest.mark.obs
+def test_perf_simulator_cycles_timeseries(benchmark):
+    """The same workload with the windowed time-series recorder on.
+
+    Reports the cost of ``--timeseries-window 100`` (per-window flushes,
+    latency tracking, per-window link-flit tallies) next to the plain and
+    traced runs, so enabled-mode overhead is a number in every benchmark
+    comparison.
+    """
+    assert not timeseries.enabled()
+    topo = Jellyfish(12, 10, 6, seed=7)
+    cache = PathCache(topo, "redksp", k=4, seed=1)
+    cfg = SimConfig(warmup_cycles=100, sample_cycles=100, n_samples=2)
+
+    def run():
+        with timeseries.capture(window=100) as rec:
+            sim = Simulator(
+                topo, cache, "ksp_adaptive", UniformTraffic(topo.n_hosts),
+                0.5, cfg, seed=0,
+            )
+            result = sim.run()
+        assert rec.n_windows > 0
+        return result
+
+    r = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert r.delivered > 0
+    assert not timeseries.enabled()

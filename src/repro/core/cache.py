@@ -29,6 +29,7 @@ from repro.core.path import PathSet
 from repro.core.selectors import PathSelector, make_selector
 from repro.errors import ConfigurationError
 from repro.obs import metrics
+from repro.obs import monitor as obs_monitor
 from repro.obs.progress import Progress
 from repro.topology.jellyfish import Jellyfish
 from repro.topology.serialization import topology_from_dict, topology_to_dict
@@ -147,35 +148,54 @@ class PathCache:
         if not missing:
             return 0
         progress = Progress(len(missing), "path-precompute")
-        if processes == 1 or len(missing) < 2 * processes:
-            for s, d in missing:
-                self.get(s, d)
-                progress.step()
-            return len(missing)
+        mon = obs_monitor.active()
+        if mon is not None:
+            mon.begin("path-precompute", len(missing))
+        try:
+            if processes == 1 or len(missing) < 2 * processes:
+                hb = (
+                    obs_monitor.Heartbeater(mon.post) if mon is not None else None
+                )
+                if hb is not None:
+                    hb.task(f"{len(missing)} pairs inline")
+                for s, d in missing:
+                    self.get(s, d)
+                    progress.step()
+                    if mon is not None:
+                        mon.step()
+                if hb is not None:
+                    hb.done()
+                return len(missing)
 
-        if chunksize is None:
-            chunksize = max(1, len(missing) // (4 * processes))
-        shards = [
-            missing[i : i + chunksize]
-            for i in range(0, len(missing), chunksize)
-        ]
-        initargs = (
-            topology_to_dict(self.topology), self.selector, self.k, self.seed,
-            metrics.enabled(),
-        )
-        with ProcessPoolExecutor(
-            max_workers=processes,
-            initializer=_precompute_worker_init,
-            initargs=initargs,
-        ) as pool:
-            for shard_result, snap in pool.map(_precompute_worker_run, shards):
-                self._store.update(shard_result)
-                metrics.merge_snapshot(snap)
-                progress.step(len(shard_result))
-        # The shards were all cache misses; keep the parent's plain-int
-        # tallies consistent with what a serial warm would have recorded.
-        self.misses += len(missing)
-        return len(missing)
+            if chunksize is None:
+                chunksize = max(1, len(missing) // (4 * processes))
+            shards = [
+                missing[i : i + chunksize]
+                for i in range(0, len(missing), chunksize)
+            ]
+            initargs = (
+                topology_to_dict(self.topology), self.selector, self.k,
+                self.seed, metrics.enabled(),
+                mon.queue() if mon is not None else None,
+            )
+            with ProcessPoolExecutor(
+                max_workers=processes,
+                initializer=_precompute_worker_init,
+                initargs=initargs,
+            ) as pool:
+                for shard_result, snap in pool.map(_precompute_worker_run, shards):
+                    self._store.update(shard_result)
+                    metrics.merge_snapshot(snap)
+                    progress.step(len(shard_result))
+                    if mon is not None:
+                        mon.step(len(shard_result))
+            # The shards were all cache misses; keep the parent's plain-int
+            # tallies consistent with what a serial warm would have recorded.
+            self.misses += len(missing)
+            return len(missing)
+        finally:
+            if mon is not None:
+                mon.finish()
 
     def warm(
         self,
@@ -248,21 +268,37 @@ class PathCache:
 #: registry per shard and return its snapshot for merging.
 _WORKER_CACHE: List[Optional[PathCache]] = [None]
 _WORKER_OBS: List[bool] = [False]
+_WORKER_HB: List[Optional["obs_monitor.Heartbeater"]] = [None]
 
 
-def _precompute_worker_init(topo_doc, selector, k, seed, obs_enabled=False) -> None:
+def _precompute_worker_init(topo_doc, selector, k, seed, obs_enabled=False,
+                            mon_sink=None) -> None:
+    import os
+
     _WORKER_CACHE[0] = PathCache(
         topology_from_dict(topo_doc), selector, k=k, seed=seed
     )
     _WORKER_OBS[0] = bool(obs_enabled)
+    _WORKER_HB[0] = (
+        obs_monitor.Heartbeater(mon_sink, worker=os.getpid())
+        if mon_sink is not None else None
+    )
 
 
 def _precompute_worker_run(
     pairs: Sequence[Tuple[int, int]],
 ) -> Tuple[Dict[Tuple[int, int], PathSet], Optional[dict]]:
     cache = _WORKER_CACHE[0]
+    hb = _WORKER_HB[0]
+    if hb is not None:
+        hb.task(f"shard of {len(pairs)} pairs")
     if not _WORKER_OBS[0]:
-        return {(s, d): cache.get(s, d) for s, d in pairs}, None
+        result = {(s, d): cache.get(s, d) for s, d in pairs}
+        if hb is not None:
+            hb.done()
+        return result, None
     with metrics.capture() as reg:
         result = {(s, d): cache.get(s, d) for s, d in pairs}
+    if hb is not None:
+        hb.done()
     return result, reg.snapshot()

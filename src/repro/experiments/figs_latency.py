@@ -8,6 +8,7 @@ the paper's plots.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Tuple
 
 from repro.core import PathCache
@@ -19,9 +20,24 @@ from repro.traffic import random_permutation, random_shift
 from repro.utils.rng import SeedLike, spawn_rngs
 
 
-def run_fig(figure: int, scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
-    """One latency-load figure (11, 12 or 13)."""
+def run_fig(
+    figure: int,
+    scale: str = "small",
+    seed: SeedLike = 0,
+    steady_state: bool = False,
+) -> ExperimentResult:
+    """One latency-load figure (11, 12 or 13).
+
+    ``steady_state=True`` switches every point's simulator to
+    convergence-driven run control (auto-extended warmup, early
+    measurement stop) instead of the preset's fixed cycle budget.
+    """
     preset = latency_preset(scale, figure)
+    if steady_state:
+        preset = dict(preset)
+        preset["config"] = dataclasses.replace(
+            preset["config"], steady_state=True
+        )
     spec = preset["topo"]
     topo_rng, pat_rng, sim_rng = spawn_rngs(seed, 3)
     topo = Jellyfish(spec.n, spec.x, spec.y, seed=topo_rng)
@@ -73,16 +89,22 @@ def run_fig(figure: int, scale: str = "small", seed: SeedLike = 0) -> Experiment
     )
 
 
-def run_fig11(scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
+def run_fig11(
+    scale: str = "small", seed: SeedLike = 0, steady_state: bool = False
+) -> ExperimentResult:
     """Figure 11: uniform-random traffic."""
-    return run_fig(11, scale, seed)
+    return run_fig(11, scale, seed, steady_state=steady_state)
 
 
-def run_fig12(scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
+def run_fig12(
+    scale: str = "small", seed: SeedLike = 0, steady_state: bool = False
+) -> ExperimentResult:
     """Figure 12: a random permutation."""
-    return run_fig(12, scale, seed)
+    return run_fig(12, scale, seed, steady_state=steady_state)
 
 
-def run_fig13(scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
+def run_fig13(
+    scale: str = "small", seed: SeedLike = 0, steady_state: bool = False
+) -> ExperimentResult:
     """Figure 13: a random shift."""
-    return run_fig(13, scale, seed)
+    return run_fig(13, scale, seed, steady_state=steady_state)

@@ -7,6 +7,7 @@ saturation throughput over several pattern instances.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict
 
 import numpy as np
@@ -21,9 +22,24 @@ from repro.traffic import random_permutation, random_shift
 from repro.utils.rng import SeedLike, spawn_rngs
 
 
-def run_fig(figure: int, scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
-    """One saturation-throughput figure (7-10)."""
+def run_fig(
+    figure: int,
+    scale: str = "small",
+    seed: SeedLike = 0,
+    steady_state: bool = False,
+) -> ExperimentResult:
+    """One saturation-throughput figure (7-10).
+
+    ``steady_state=True`` switches every cell's simulator to
+    convergence-driven run control (auto-extended warmup, early
+    measurement stop) instead of the preset's fixed cycle budget.
+    """
     preset = netsim_preset(scale, figure)
+    if steady_state:
+        preset = dict(preset)
+        preset["config"] = dataclasses.replace(
+            preset["config"], steady_state=True
+        )
     spec = preset["topo"]
     shift_traffic = figure in (9, 10)
     topo_rng, *pat_rngs = spawn_rngs(seed, preset["n_patterns"] + 1)
@@ -83,21 +99,29 @@ def run_fig(figure: int, scale: str = "small", seed: SeedLike = 0) -> Experiment
     )
 
 
-def run_fig7(scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
+def run_fig7(
+    scale: str = "small", seed: SeedLike = 0, steady_state: bool = False
+) -> ExperimentResult:
     """Figure 7: permutations on the small topology."""
-    return run_fig(7, scale, seed)
+    return run_fig(7, scale, seed, steady_state=steady_state)
 
 
-def run_fig8(scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
+def run_fig8(
+    scale: str = "small", seed: SeedLike = 0, steady_state: bool = False
+) -> ExperimentResult:
     """Figure 8: permutations on the medium topology."""
-    return run_fig(8, scale, seed)
+    return run_fig(8, scale, seed, steady_state=steady_state)
 
 
-def run_fig9(scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
+def run_fig9(
+    scale: str = "small", seed: SeedLike = 0, steady_state: bool = False
+) -> ExperimentResult:
     """Figure 9: shifts on the small topology."""
-    return run_fig(9, scale, seed)
+    return run_fig(9, scale, seed, steady_state=steady_state)
 
 
-def run_fig10(scale: str = "small", seed: SeedLike = 0) -> ExperimentResult:
+def run_fig10(
+    scale: str = "small", seed: SeedLike = 0, steady_state: bool = False
+) -> ExperimentResult:
     """Figure 10: shifts on the medium topology."""
-    return run_fig(10, scale, seed)
+    return run_fig(10, scale, seed, steady_state=steady_state)

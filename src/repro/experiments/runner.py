@@ -21,6 +21,8 @@ from typing import Callable, Dict
 from repro.errors import ConfigurationError
 from repro.obs import log as obs_log
 from repro.obs import metrics
+from repro.obs import monitor as obs_monitor
+from repro.obs import timeseries as obs_timeseries
 from repro.obs import trace as obs_trace
 from repro.obs.manifest import build_manifest, write_manifest
 from repro.experiments.base import ExperimentResult
@@ -69,12 +71,15 @@ def run_experiment(
     seed: int = 0,
     processes: int = 1,
     path_store=None,
+    steady_state: bool = False,
 ) -> ExperimentResult:
     """Run one experiment by id (``"table1"`` ... ``"fig13"``).
 
     ``processes`` and ``path_store`` feed the fast path-table pipeline
-    (parallel precompute + persistent tables) and are forwarded only to
-    drivers that accept them; results are identical either way.
+    (parallel precompute + persistent tables); ``steady_state`` switches
+    cycle-level drivers to convergence-driven run control.  Each keyword
+    is forwarded only to drivers that accept it; for the first two,
+    results are identical either way.
     """
     try:
         driver = EXPERIMENTS[name]
@@ -88,6 +93,8 @@ def run_experiment(
         kwargs["processes"] = processes
     if "path_store" in accepted:
         kwargs["path_store"] = path_store
+    if "steady_state" in accepted:
+        kwargs["steady_state"] = steady_state
     return driver(**kwargs)
 
 
@@ -150,6 +157,30 @@ def main(argv=None) -> int:
         "(requires --telemetry-dir)",
     )
     parser.add_argument(
+        "--timeseries-window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="enable the windowed time-series recorder with N-cycle "
+        "windows; writes <experiment>-<scale>.timeseries.npz, embeds a "
+        "per-run steady-state (warmup-sufficiency) report in the manifest "
+        "and prints its summary (requires --telemetry-dir)",
+    )
+    parser.add_argument(
+        "--steady-state",
+        action="store_true",
+        help="convergence-driven run control for cycle-level experiments: "
+        "warmup auto-extends until the windowed ejection rate and latency "
+        "converge, and measurement ends early once samples agree",
+    )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="live run monitor on stderr: in-place dashboard (progress, "
+        "throughput/latency sparklines, per-worker heartbeats with a "
+        "stale-worker watchdog) for parallel grids and precomputes",
+    )
+    parser.add_argument(
         "--log-level",
         choices=("debug", "info", "warning", "error"),
         default="warning",
@@ -165,6 +196,11 @@ def main(argv=None) -> int:
             parser.error("--trace-sample must be >= 1")
         if telemetry_dir is None:
             parser.error("--trace-sample requires --telemetry-dir")
+    if args.timeseries_window is not None:
+        if args.timeseries_window < 1:
+            parser.error("--timeseries-window must be >= 1")
+        if telemetry_dir is None:
+            parser.error("--timeseries-window requires --telemetry-dir")
 
     store = None
     if args.path_store is not None:
@@ -177,6 +213,8 @@ def main(argv=None) -> int:
         )
 
     names = list(EXPERIMENTS) if "all" in args.experiment else args.experiment
+    if args.live:
+        obs_monitor.enable()
     try:
         for name in names:
             if telemetry_dir is not None:
@@ -185,6 +223,8 @@ def main(argv=None) -> int:
                 metrics.enable()
                 if args.trace_sample is not None:
                     obs_trace.enable(sample=args.trace_sample)
+                if args.timeseries_window is not None:
+                    obs_timeseries.enable(window=args.timeseries_window)
                 obs_log.open_jsonl(
                     telemetry_dir / f"{name}-{args.scale}.events.jsonl"
                 )
@@ -198,6 +238,7 @@ def main(argv=None) -> int:
                 result = run_experiment(
                     name, scale=args.scale, seed=args.seed,
                     processes=args.processes, path_store=store,
+                    steady_state=args.steady_state,
                 )
             wall = time.perf_counter() - t0
             obs_log.info(
@@ -217,14 +258,20 @@ def main(argv=None) -> int:
     finally:
         metrics.disable()
         obs_trace.disable()
+        obs_timeseries.disable()
+        obs_monitor.disable()
         obs_log.close_jsonl()
     return 0
 
 
 def _emit_telemetry(name: str, args, wall: float, telemetry_dir: Path) -> None:
-    """Write the run manifest (and trace) and print the ASCII summary."""
+    """Write the run manifest (and trace/time series), print the summary."""
     from repro.report import link_load_report, stage_timing_table
 
+    steady_report = None
+    ts_path = None
+    if args.timeseries_window is not None:
+        steady_report, ts_path = _emit_timeseries(name, args, telemetry_dir)
     snap = metrics.snapshot() or {}
     doc = build_manifest(
         experiment=name,
@@ -235,9 +282,12 @@ def _emit_telemetry(name: str, args, wall: float, telemetry_dir: Path) -> None:
             "path_store": args.path_store,
             "export_dir": args.export_dir,
             "trace_sample": args.trace_sample,
+            "timeseries_window": args.timeseries_window,
+            "steady_state": args.steady_state,
         },
         wall_time_s=wall,
         metrics_snapshot=snap,
+        steady_state=steady_report,
     )
     path = write_manifest(doc, telemetry_dir, f"{name}-{args.scale}.manifest.json")
     print(stage_timing_table(snap.get("timers", {})))
@@ -249,12 +299,45 @@ def _emit_telemetry(name: str, args, wall: float, telemetry_dir: Path) -> None:
     if link_arrays:
         print()
         print(link_load_report(link_arrays))
+    if steady_report is not None:
+        print()
+        print(
+            f"steady state: {steady_report['n_warmup_sufficient']}"
+            f"/{steady_report['n_runs']} runs had sufficient warmup "
+            f"({steady_report['n_converged']} converged; "
+            f"check_windows={steady_report['check_windows']}, "
+            f"rel_tol={steady_report['rel_tol']})"
+        )
     if args.trace_sample is not None:
         _emit_trace(name, args, telemetry_dir)
+    if ts_path is not None:
+        print(f"# timeseries: {ts_path}")
     print(f"# manifest: {path}")
     print()
     obs_log.info("manifest_written", experiment=name, path=str(path))
     obs_log.close_jsonl()
+
+
+def _emit_timeseries(name: str, args, telemetry_dir: Path):
+    """Persist the window buffers; return (steady report, path or None)."""
+    from repro.obs.timeseries import save_timeseries, steady_state_report
+
+    snap = obs_timeseries.snapshot()
+    obs_timeseries.disable()
+    if snap is None or not snap["n_windows"]:
+        return None, None
+    ts_path = telemetry_dir / f"{name}-{args.scale}.timeseries.npz"
+    save_timeseries(ts_path, snap)
+    report = steady_state_report(snap)
+    obs_log.info(
+        "timeseries_written",
+        experiment=name,
+        path=str(ts_path),
+        runs=int(snap["n_runs"]),
+        windows=int(snap["n_windows"]),
+        warmup_sufficient=int(report["n_warmup_sufficient"]),
+    )
+    return report, ts_path
 
 
 def _emit_trace(name: str, args, telemetry_dir: Path) -> None:

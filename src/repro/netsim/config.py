@@ -39,6 +39,27 @@ class SimConfig:
         (queued flits summed along the whole source route plus pipeline
         delay, the default) or ``"first"`` (classic UGAL-L first-channel
         queue x hops product; kept for the ablation study).
+    steady_state:
+        Opt-in convergence-driven run control (off by default — the
+        paper's protocol is a fixed cycle budget).  When on, warmup runs
+        in ``steady_window_cycles`` windows until the windowed ejection
+        rate *and* mean latency both pass the moving-window convergence
+        test of :func:`repro.obs.timeseries.spans_converged` —
+        ``warmup_cycles`` becomes a floor and ``max_warmup_cycles`` the
+        ceiling — and measurement ends early once the last
+        ``steady_check_windows`` sample latencies agree within
+        ``steady_rel_tol``.
+    steady_window_cycles:
+        Width of the convergence-test windows during warmup.
+    steady_check_windows:
+        Windows per comparison span: converged when the means of the two
+        most recent spans of this many windows differ by at most
+        ``steady_rel_tol`` (relative).
+    steady_rel_tol:
+        Relative tolerance of the convergence tests.
+    max_warmup_cycles:
+        Hard ceiling on auto-extended warmup; a run still not converged
+        here starts measuring anyway (and is reported as such).
     """
 
     channel_latency: int = 10
@@ -50,6 +71,11 @@ class SimConfig:
     saturation_latency: float = 500.0
     drain_max_cycles: int = 20_000
     adaptive_estimate: str = "path"
+    steady_state: bool = False
+    steady_window_cycles: int = 100
+    steady_check_windows: int = 4
+    steady_rel_tol: float = 0.05
+    max_warmup_cycles: int = 8_000
 
     def __post_init__(self):
         for name in (
@@ -58,6 +84,8 @@ class SimConfig:
             "input_speedup",
             "sample_cycles",
             "n_samples",
+            "steady_window_cycles",
+            "steady_check_windows",
         ):
             if getattr(self, name) < 1:
                 raise ConfigurationError(f"{name} must be >= 1")
@@ -65,6 +93,12 @@ class SimConfig:
             raise ConfigurationError("warmup_cycles must be >= 0")
         if self.saturation_latency <= 0:
             raise ConfigurationError("saturation_latency must be > 0")
+        if self.steady_rel_tol <= 0:
+            raise ConfigurationError("steady_rel_tol must be > 0")
+        if self.max_warmup_cycles < self.warmup_cycles:
+            raise ConfigurationError(
+                "max_warmup_cycles must be >= warmup_cycles"
+            )
 
     @property
     def measure_cycles(self) -> int:

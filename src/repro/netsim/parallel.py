@@ -32,6 +32,8 @@ from repro.netsim.config import SimConfig
 from repro.netsim.sweep import saturation_throughput
 from repro.netsim.simulator import PatternTraffic
 from repro.obs import metrics
+from repro.obs import monitor as obs_monitor
+from repro.obs import timeseries as obs_timeseries
 from repro.obs import trace as obs_trace
 from repro.obs.progress import Progress
 from repro.topology.jellyfish import Jellyfish
@@ -53,17 +55,23 @@ class GridCell:
 
 # Per-worker state built once by the pool initializer: the rebuilt topology
 # and one warmed PathCache per scheme.  The flag records whether the parent
-# had telemetry enabled (and the parent's trace configuration, if the
-# flight recorder is on); cells then run under captured registry/recorder
-# instances and ship their snapshots home for merging.
+# had telemetry enabled (and the parent's trace / time-series
+# configurations, if those recorders are on); cells then run under
+# captured registry/recorder instances and ship their snapshots home for
+# merging.  ``_GRID_HB`` holds the live monitor's worker-side heartbeater
+# (fed by the parent's Manager queue, or its ``post`` callable inline).
 _GRID_STATE: List[Optional[Tuple[Jellyfish, Dict[str, PathCache]]]] = [None]
 _GRID_OBS: List[bool] = [False]
 _GRID_TRACE: List[Optional[dict]] = [None]
+_GRID_TS: List[Optional[dict]] = [None]
+_GRID_HB: List[Optional[obs_monitor.Heartbeater]] = [None]
 
 
 def _grid_init(topo_doc, k, cache_seed, states, obs_enabled=False,
-               trace_cfg=None) -> None:
+               trace_cfg=None, ts_cfg=None, mon_sink=None) -> None:
     """Pool initializer: rebuild the topology and warmed caches once."""
+    import os
+
     topology = topology_from_dict(topo_doc)
     caches: Dict[str, PathCache] = {}
     for scheme, state in states.items():
@@ -73,18 +81,25 @@ def _grid_init(topo_doc, k, cache_seed, states, obs_enabled=False,
     _GRID_STATE[0] = (topology, caches)
     _GRID_OBS[0] = bool(obs_enabled)
     _GRID_TRACE[0] = dict(trace_cfg) if trace_cfg else None
+    _GRID_TS[0] = dict(ts_cfg) if ts_cfg else None
+    _GRID_HB[0] = (
+        obs_monitor.Heartbeater(mon_sink, worker=os.getpid())
+        if mon_sink is not None else None
+    )
 
 
-def _run_cell(args) -> Tuple[GridCell, Optional[dict], Optional[dict]]:
+def _run_cell(
+    args,
+) -> Tuple[GridCell, Optional[dict], Optional[dict], Optional[dict]]:
     """Worker: run one saturation sweep against the initializer's state.
 
     Returns the cell plus a metrics snapshot of everything the sweep
     recorded (simulator flit/stall counters, per-link flit arrays, cache
-    hit/miss counts) and a flight-recorder snapshot, each ``None`` when
-    the corresponding subsystem is off.  Metric snapshots merge
-    commutatively; trace snapshots are merged by the parent in task order
-    (``pool.map`` preserves it), so the parent's aggregates are identical
-    for any worker count.
+    hit/miss counts), a flight-recorder snapshot, and a time-series
+    snapshot, each ``None`` when the corresponding subsystem is off.
+    Metric snapshots merge commutatively; trace and time-series snapshots
+    are merged by the parent in task order (``pool.map`` preserves it), so
+    the parent's aggregates are identical for any worker count.
     """
     (
         scheme, mechanism, pattern_index, pattern_flows, n_hosts,
@@ -101,8 +116,15 @@ def _run_cell(args) -> Tuple[GridCell, Optional[dict], Optional[dict]]:
         return th
 
     trace_cfg = _GRID_TRACE[0]
-    if not _GRID_OBS[0] and trace_cfg is None:
-        return GridCell(scheme, mechanism, pattern_index, sweep()), None, None
+    ts_cfg = _GRID_TS[0]
+    hb = _GRID_HB[0]
+    if hb is not None:
+        hb.task(f"{scheme}/{mechanism} p{pattern_index}")
+    if not _GRID_OBS[0] and trace_cfg is None and ts_cfg is None:
+        cell = GridCell(scheme, mechanism, pattern_index, sweep())
+        if hb is not None:
+            hb.done()
+        return cell, None, None, None
     with ExitStack() as stack:
         reg = (
             stack.enter_context(metrics.capture()) if _GRID_OBS[0] else None
@@ -111,11 +133,21 @@ def _run_cell(args) -> Tuple[GridCell, Optional[dict], Optional[dict]]:
             stack.enter_context(obs_trace.capture(**trace_cfg))
             if trace_cfg else None
         )
+        tsr = (
+            stack.enter_context(obs_timeseries.capture(**ts_cfg))
+            if ts_cfg else None
+        )
+        if tsr is not None and hb is not None:
+            tsr.on_window = hb.window
         th = sweep()
+        ts_snap = tsr.snapshot() if tsr is not None else None
+    if hb is not None:
+        hb.done()
     return (
         GridCell(scheme, mechanism, pattern_index, th),
         reg.snapshot() if reg is not None else None,
         rec.snapshot() if rec is not None else None,
+        ts_snap,
     )
 
 
@@ -173,33 +205,59 @@ def run_saturation_grid(
                 cell += 1
 
     progress = Progress(len(tasks), "saturation-grid")
-    initargs = (topo_doc, k, seed, states, metrics.enabled(), obs_trace.config())
+    mon = obs_monitor.active()
+    if mon is not None:
+        mon.begin("saturation-grid", len(tasks))
+    # Inline runs feed the monitor through its ``post`` callable; pool
+    # workers get a Manager-queue proxy (picklable through initargs).
+    sink = None
+    if mon is not None:
+        sink = mon.post if processes == 1 else mon.queue()
+    initargs = (
+        topo_doc, k, seed, states, metrics.enabled(), obs_trace.config(),
+        obs_timeseries.config(), sink,
+    )
     cells: List[GridCell] = []
-    if processes == 1:
-        # Inline cells use the same per-cell capture-and-merge path as the
-        # pool, so serial and parallel runs aggregate identical telemetry.
-        _grid_init(*initargs)
-        try:
-            for t in tasks:
-                cell, snap, tsnap = _run_cell(t)
-                cells.append(cell)
-                metrics.merge_snapshot(snap)
-                obs_trace.merge_snapshot(tsnap)
-                progress.step()
-        finally:
-            _GRID_STATE[0] = None
-            _GRID_OBS[0] = False
-            _GRID_TRACE[0] = None
-    else:
-        with ProcessPoolExecutor(
-            max_workers=processes, initializer=_grid_init, initargs=initargs,
-        ) as pool:
-            chunksize = max(1, len(tasks) // (4 * processes))
-            for cell, snap, tsnap in pool.map(_run_cell, tasks, chunksize=chunksize):
-                cells.append(cell)
-                metrics.merge_snapshot(snap)
-                obs_trace.merge_snapshot(tsnap)
-                progress.step()
+    try:
+        if processes == 1:
+            # Inline cells use the same per-cell capture-and-merge path as
+            # the pool, so serial and parallel runs aggregate identical
+            # telemetry.
+            _grid_init(*initargs)
+            try:
+                for t in tasks:
+                    cell, snap, tsnap, ts_snap = _run_cell(t)
+                    cells.append(cell)
+                    metrics.merge_snapshot(snap)
+                    obs_trace.merge_snapshot(tsnap)
+                    obs_timeseries.merge_snapshot(ts_snap)
+                    progress.step()
+                    if mon is not None:
+                        mon.step()
+            finally:
+                _GRID_STATE[0] = None
+                _GRID_OBS[0] = False
+                _GRID_TRACE[0] = None
+                _GRID_TS[0] = None
+                _GRID_HB[0] = None
+        else:
+            with ProcessPoolExecutor(
+                max_workers=processes, initializer=_grid_init, initargs=initargs,
+            ) as pool:
+                chunksize = max(1, len(tasks) // (4 * processes))
+                for cell, snap, tsnap, ts_snap in pool.map(
+                    _run_cell, tasks, chunksize=chunksize
+                ):
+                    cells.append(cell)
+                    metrics.merge_snapshot(snap)
+                    obs_trace.merge_snapshot(tsnap)
+                    obs_timeseries.merge_snapshot(ts_snap)
+                    progress.step()
+                    if mon is not None:
+                        mon.step()
+    finally:
+        if mon is not None:
+            mon.finish()
 
     out: Dict[Tuple[str, str], List[float]] = {}
     for c in cells:

@@ -29,7 +29,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from repro.core.cache import PathCache
 from repro.errors import ConfigurationError, SimulationError, TrafficError
 from repro.netsim.config import SimConfig
 from repro.obs import metrics
+from repro.obs import timeseries as obs_timeseries
 from repro.obs import trace as obs_trace
 from repro.netsim.mechanisms import RoutingMechanism, make_mechanism
 from repro.netsim.network import NetworkWiring
@@ -145,6 +146,12 @@ class SimResult:
     max_link_utilisation: float
     mean_link_utilisation: float
     config: SimConfig = field(repr=False)
+    # Steady-state run control (``config.steady_state``): the warmup the
+    # run actually used, how many samples it measured before stopping,
+    # and whether warmup converged (``None`` for fixed-budget runs).
+    warmup_cycles_used: int = -1
+    measured_samples: int = -1
+    steady_converged: Optional[bool] = None
 
     def offered_load(self) -> float:
         """The injection rate (flits/node/cycle) this run offered."""
@@ -254,6 +261,9 @@ class Simulator:
         self.flits_forwarded = 0
         self.credit_stalls = 0
         self._occupancy_samples: List[int] = []
+        self._warmup_converged = False
+        self._warmup_used = config.warmup_cycles
+        self._measured_samples = config.n_samples
 
         # Flight recorder (off by default; the active recorder is fixed at
         # construction, so hot paths only test one local reference).
@@ -272,6 +282,38 @@ class Simulator:
             # built lazily so only traced packets pay the lookup.
             self._trace_path_idx: Dict[Tuple[int, int], Dict[Tuple[int, ...], int]] = {}
 
+        # Windowed time-series recorder (same fixed-at-construction
+        # discipline as the flight recorder).  Cumulative ejection latency
+        # is tracked whenever the recorder or steady-state control needs
+        # per-window means; both are off by default.
+        ts = obs_timeseries.active()
+        self._ts = ts
+        self._ts_run = -1
+        self._track_lat = ts is not None or config.steady_state
+        self._lat_total = 0
+        self._win_start = 0
+        self._win_next = 0
+        self._end_cycle = config.total_cycles
+        if ts is not None:
+            self._ts_run = ts.begin_run(
+                scheme=getattr(paths.selector, "name", "unknown"),
+                mechanism=mechanism,
+                rate=self.rate,
+                n_hosts=topology.n_hosts,
+                warmup_cycles=config.warmup_cycles,
+                channel_latency=config.channel_latency,
+            )
+            self._ts_link_flits = np.zeros(
+                topology.n_switch_links, dtype=np.int64
+            )
+            self._win_next = ts.window
+            # Counter values at the last window flush (delta markers).
+            self._wp_injected = 0
+            self._wp_delivered = 0
+            self._wp_lat = 0
+            self._wp_stalls = 0
+            self._wp_fwd = 0
+
     # ----------------------------------------------------------- plumbing
     def _buf_idx(self, switch: int, port: int, vc: int) -> int:
         return switch * self._stride_switch + port * self._stride_port + vc
@@ -285,12 +327,15 @@ class Simulator:
         heap = self._arrivals
         cfg = self.config
         tr = self._trace
+        track_lat = self._track_lat
         while heap and heap[0][0] <= now:
             _, _, flat_idx, packet = heapq.heappop(heap)
             if flat_idx < 0:
                 # Ejection: the packet reached its host.
                 packet.t_deliver = now
                 self.delivered += 1
+                if track_lat:
+                    self._lat_total += packet.latency
                 t = now - self._measure_start
                 if 0 <= t < cfg.measure_cycles:
                     s = t // cfg.sample_cycles
@@ -400,6 +445,7 @@ class Simulator:
         eject_base = wiring.n_switch_ports
         tr = self._trace
         tracing = tr is not None
+        ts_links = self._ts_link_flits if self._ts is not None else None
         stalls = 0
         forwarded = 0
         for switch in range(self.topology.n_switches):
@@ -479,6 +525,8 @@ class Simulator:
                     forwarded += 1
                     if now >= self._measure_start:
                         self._link_flits[link] += 1
+                    if ts_links is not None:
+                        ts_links[link] += 1
                     if tracing and packet.trace_id >= 0:
                         tr.event(
                             packet.trace_id, self._trace_run,
@@ -492,6 +540,123 @@ class Simulator:
         self.flits_forwarded += forwarded
 
     # ---------------------------------------------------------------- run
+    def _advance(self, start: int, stop: int) -> None:
+        """Run the four-phase cycle loop for ``[start, stop)``.
+
+        With the time-series recorder off this is the bare loop.  With it
+        on, the loop is chunked at absolute window boundaries and a row is
+        flushed at each — the cycle-by-cycle work (and every RNG draw) is
+        identical either way, so enabling time series cannot change a
+        run's results.
+        """
+        if self._ts is None:
+            for now in range(start, stop):
+                self._process_arrivals(now)
+                self._inject(now)
+                self._launch_from_sources(now)
+                self._allocate(now)
+            return
+        cur = start
+        while cur < stop:
+            nxt = min(stop, self._win_next)
+            for now in range(cur, nxt):
+                self._process_arrivals(now)
+                self._inject(now)
+                self._launch_from_sources(now)
+                self._allocate(now)
+            cur = nxt
+            if cur == self._win_next:
+                self._flush_window(cur)
+                self._win_next += self._ts.window
+
+    def _flush_window(self, now: int) -> None:
+        """Record one time-series row covering ``[_win_start, now)``."""
+        cycles = now - self._win_start
+        if cycles <= 0:
+            return
+        ts = self._ts
+        ts.record_window(
+            self._ts_run,
+            start=self._win_start,
+            cycles=cycles,
+            injected=self.injected - self._wp_injected,
+            ejected=self.delivered - self._wp_delivered,
+            lat_sum=self._lat_total - self._wp_lat,
+            credit_stalls=self.credit_stalls - self._wp_stalls,
+            forwarded=self.flits_forwarded - self._wp_fwd,
+            occupancy=self.buffered_flits(),
+            link_flits=self._ts_link_flits,
+        )
+        self._ts_link_flits[:] = 0
+        self._wp_injected = self.injected
+        self._wp_delivered = self.delivered
+        self._wp_lat = self._lat_total
+        self._wp_stalls = self.credit_stalls
+        self._wp_fwd = self.flits_forwarded
+        self._win_start = now
+
+    def _run_warmup(self) -> int:
+        """Run warmup; returns the cycle measurement starts at.
+
+        Fixed-budget runs (the default) simulate exactly
+        ``config.warmup_cycles``.  With ``config.steady_state`` on, warmup
+        proceeds in ``steady_window_cycles`` windows and ends at the first
+        boundary past the nominal warmup where the windowed ejection rate
+        and mean latency both test converged — extending up to
+        ``max_warmup_cycles`` when they do not.
+        """
+        cfg = self.config
+        if not cfg.steady_state:
+            self._advance(0, cfg.warmup_cycles)
+            return cfg.warmup_cycles
+        w = cfg.steady_window_cycles
+        hosts = max(1, len(self.active_hosts))
+        rates: List[float] = []
+        lats: List[float] = []
+        prev_del = 0
+        prev_lat = 0
+        t = 0
+        converged = False
+        while True:
+            self._advance(t, t + w)
+            t += w
+            d = self.delivered - prev_del
+            rates.append(d / (w * hosts))
+            lats.append(
+                (self._lat_total - prev_lat) / d if d else float("nan")
+            )
+            prev_del = self.delivered
+            prev_lat = self._lat_total
+            converged = obs_timeseries.spans_converged(
+                rates, cfg.steady_check_windows, cfg.steady_rel_tol
+            ) and obs_timeseries.spans_converged(
+                lats, cfg.steady_check_windows, cfg.steady_rel_tol
+            )
+            if t >= cfg.warmup_cycles and (
+                converged or t + w > cfg.max_warmup_cycles
+            ):
+                break
+        self._warmup_converged = converged
+        return t
+
+    def _samples_converged(self, n_done: int) -> bool:
+        """True when the last ``steady_check_windows`` sample latencies
+        all exist and agree within ``steady_rel_tol`` (relative spread)."""
+        cfg = self.config
+        m = cfg.steady_check_windows
+        if n_done < max(2, m):
+            return False
+        means = []
+        for i in range(n_done - m, n_done):
+            if not self._sample_counts[i]:
+                return False
+            means.append(self._sample_sums[i] / self._sample_counts[i])
+        lo, hi = min(means), max(means)
+        mid = sum(means) / len(means)
+        if mid == 0.0:
+            return hi == lo
+        return hi - lo <= cfg.steady_rel_tol * abs(mid)
+
     def run(self) -> SimResult:
         """Simulate warmup + measurement and return the run statistics.
 
@@ -502,30 +667,47 @@ class Simulator:
         """
         cfg = self.config
         observe = metrics.enabled()
-        for now in range(cfg.warmup_cycles):
-            self._process_arrivals(now)
-            self._inject(now)
-            self._launch_from_sources(now)
-            self._allocate(now)
-        start = cfg.warmup_cycles
+        # Hide the measurement window until warmup actually ends — with
+        # steady-state control its end is not known in advance.
+        self._measure_start = 1 << 62
+        warmup_used = self._run_warmup()
+        self._measure_start = warmup_used
+        self._warmup_used = warmup_used
+        start = warmup_used
+        n_done = 0
         for _ in range(cfg.n_samples):
-            stop = start + cfg.sample_cycles
-            for now in range(start, stop):
-                self._process_arrivals(now)
-                self._inject(now)
-                self._launch_from_sources(now)
-                self._allocate(now)
-            start = stop
+            self._advance(start, start + cfg.sample_cycles)
+            start += cfg.sample_cycles
+            n_done += 1
             if observe:
                 self._occupancy_samples.append(self.buffered_flits())
+            if (
+                cfg.steady_state
+                and n_done < cfg.n_samples
+                and self._samples_converged(n_done)
+            ):
+                break
+        self._end_cycle = start
+        self._measured_samples = n_done
+        steady = self._warmup_converged if cfg.steady_state else None
+        ts = self._ts
+        if ts is not None:
+            self._flush_window(start)  # the final, possibly partial window
+            ts.annotate_run(
+                self._ts_run,
+                warmup_cycles_used=warmup_used,
+                measured_samples=n_done,
+                steady_converged=steady,
+            )
 
         samples = tuple(
             (self._sample_sums[i] / self._sample_counts[i])
             if self._sample_counts[i]
             else float("nan")
-            for i in range(cfg.n_samples)
+            for i in range(n_done)
         )
         measured = sum(self._sample_counts)
+        measured_cycles = n_done * cfg.sample_cycles
         saturated = any(
             (s != s) or s > cfg.saturation_latency for s in samples
         )
@@ -538,7 +720,7 @@ class Simulator:
             p99 = float(np.percentile(lat, 99))
         else:
             p50 = p99 = float("nan")
-        util = self._link_flits / cfg.measure_cycles
+        util = self._link_flits / measured_cycles
         active = max(1, len(self.active_hosts))
         reg = metrics.active()
         if reg is not None:
@@ -551,13 +733,16 @@ class Simulator:
             mean_latency=mean_latency,
             sample_latencies=samples,
             saturated=saturated,
-            accepted_throughput=measured / (active * cfg.measure_cycles),
+            accepted_throughput=measured / (active * measured_cycles),
             n_active_hosts=len(self.active_hosts),
             latency_p50=p50,
             latency_p99=p99,
             max_link_utilisation=float(util.max()) if util.size else 0.0,
             mean_link_utilisation=float(util.mean()) if util.size else 0.0,
             config=cfg,
+            warmup_cycles_used=warmup_used,
+            measured_samples=n_done,
+            steady_converged=steady,
         )
 
     def drain(self) -> int:
@@ -570,7 +755,7 @@ class Simulator:
         a deadlock-freedom check in tests.
         """
         cfg = self.config
-        start = cfg.total_cycles
+        start = self._end_cycle
         for now in range(start, start + cfg.drain_max_cycles):
             if self.in_flight() == 0:
                 return now - start
@@ -609,6 +794,12 @@ class Simulator:
         reg.array(
             f"netsim.link_flits/{scheme}", self.topology.n_switch_links
         ).add(self._link_flits)
+        if self.config.steady_state:
+            reg.gauge("netsim.warmup_cycles_used").set(self._warmup_used)
+            if self._warmup_used > self.config.warmup_cycles:
+                reg.counter("netsim.steady_warmup_extended").inc()
+            if self._measured_samples < self.config.n_samples:
+                reg.counter("netsim.steady_early_stop").inc()
 
     # ------------------------------------------------------- diagnostics
     def in_flight(self) -> int:

@@ -8,6 +8,11 @@
   attribution and a route-membership audit;
 - :mod:`repro.obs.compare` — cross-run regression diffing of manifests
   (``python -m repro.experiments compare-runs A B``);
+- :mod:`repro.obs.timeseries` — windowed simulator time series (per-window
+  injection/ejection/latency/stall/occupancy/top-link rows) plus
+  steady-state convergence detection and warmup-sufficiency reports;
+- :mod:`repro.obs.monitor` — live run monitor: worker heartbeats over a
+  multiprocessing queue, in-place ANSI dashboard, stale-worker watchdog;
 - :mod:`repro.obs.log` — structured events (stderr + JSONL + handlers);
 - :mod:`repro.obs.progress` — completed/total + ETA reporting;
 - :mod:`repro.obs.manifest` — per-run JSON manifests.
@@ -22,19 +27,26 @@ Typical embedding use::
     trace.save_trace("run.trace.npz")
 """
 
-from repro.obs import compare, log, metrics, trace
+from repro.obs import compare, log, metrics, monitor, timeseries, trace
 from repro.obs.manifest import build_manifest, topology_hash, write_manifest
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitor import Heartbeater, RunMonitor
 from repro.obs.progress import Progress
+from repro.obs.timeseries import TimeseriesRecorder
 from repro.obs.trace import TraceAnalysis, TraceRecorder
 
 __all__ = [
     "compare",
     "log",
     "metrics",
+    "monitor",
+    "timeseries",
     "trace",
+    "Heartbeater",
     "MetricsRegistry",
     "Progress",
+    "RunMonitor",
+    "TimeseriesRecorder",
     "TraceAnalysis",
     "TraceRecorder",
     "build_manifest",

@@ -10,6 +10,7 @@ utilization arrays).  Written by ``python -m repro.experiments ...
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 import os
@@ -35,8 +36,14 @@ MANIFEST_FORMAT = "repro-manifest-v1"
 MANIFEST_SCHEMA_VERSION = 2
 
 
+@functools.lru_cache(maxsize=1)
 def _git_commit() -> Optional[str]:
-    """The repository's HEAD commit, or ``None`` outside a git checkout."""
+    """The repository's HEAD commit, or ``None`` outside a git checkout.
+
+    Cached per process — HEAD cannot change under a running experiment,
+    and a sweep writing dozens of manifests should not fork ``git`` for
+    each one.
+    """
     try:
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"],
@@ -71,18 +78,22 @@ def build_manifest(
     config: Optional[Mapping] = None,
     wall_time_s: float,
     metrics_snapshot: Optional[Mapping] = None,
+    steady_state: Optional[Mapping] = None,
 ) -> dict:
     """Assemble the manifest document (plain JSON-able dict).
 
     ``metrics_snapshot`` is a :meth:`MetricsRegistry.snapshot` document;
     its ``timers`` section becomes the manifest's stage timings and its
     ``info`` annotations (topology hash, labels) are lifted to the top
-    level.
+    level.  ``steady_state`` is a
+    :func:`repro.obs.timeseries.steady_state_report` document: per-run
+    warmup-sufficiency verdicts, recorded whenever the run collected time
+    series.
     """
     import repro
 
     snap = metrics_snapshot or {}
-    return {
+    doc = {
         "format": MANIFEST_FORMAT,
         "schema_version": MANIFEST_SCHEMA_VERSION,
         "experiment": experiment,
@@ -104,6 +115,9 @@ def build_manifest(
             "arrays": snap.get("arrays", {}),
         },
     }
+    if steady_state is not None:
+        doc["steady_state"] = dict(steady_state)
+    return doc
 
 
 def write_manifest(doc: Mapping, directory, filename: Optional[str] = None) -> Path:

@@ -1,0 +1,340 @@
+"""Live run monitor: worker heartbeats in, an in-place dashboard out.
+
+Long grids (`run_saturation_grid`) and path precomputes
+(`PathCache.precompute_parallel`) run for minutes across a process pool
+with nothing but a final answer at the end.  This module adds a live
+view: workers post small heartbeat dicts — task started, window sample
+(throughput + latency from the time-series recorder's ``on_window``
+hook), task done — and the parent's :class:`RunMonitor` folds them into
+one state dict that :func:`repro.report.ascii.render_dashboard` turns
+into an in-place ANSI dashboard (grid progress, throughput/latency
+sparklines, per-worker status).  A watchdog flags workers whose last
+heartbeat is older than ``stale_after`` seconds — the symptom of a hung
+or died worker that a silent pool would hide until the end of time.
+
+Transport is deliberately boring: a ``multiprocessing.Manager`` queue
+(its proxy pickles through pool initializers; a raw ``mp.Queue`` does
+not), created lazily so inline runs never pay for a manager process —
+``processes=1`` paths hand workers the monitor's :meth:`RunMonitor.post`
+callable directly.  :class:`Heartbeater` is the worker-side half:
+rate-limited, and **never** raises — a dead monitor must not kill a
+multi-minute simulation.
+
+Module state mirrors ``metrics``/``trace``/``timeseries``: one optional
+active monitor per process (:func:`enable` / :func:`disable`), and the
+parallel entry points test ``active() is not None`` once per call.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Mapping, Optional, Union
+
+from repro.obs import log
+
+__all__ = [
+    "Heartbeater",
+    "RunMonitor",
+    "enable",
+    "disable",
+    "enabled",
+    "active",
+]
+
+#: A heartbeat sink: a queue-like object with ``put_nowait`` (pool
+#: workers) or a plain callable (inline runs).
+Sink = Union[Callable[[dict], None], object]
+
+
+class Heartbeater:
+    """Worker-side heartbeat emitter.
+
+    Window samples are rate-limited to one per ``min_interval`` seconds
+    (a small simulation can close thousands of windows per second);
+    task-start/task-done beats always go through.  Every post swallows
+    every exception — monitoring must never break the monitored.
+    """
+
+    def __init__(self, sink: Sink, worker: int = 0, min_interval: float = 0.25):
+        self._put = sink if callable(sink) else sink.put_nowait
+        self.worker = int(worker)
+        self.min_interval = float(min_interval)
+        self._last = 0.0
+
+    def _post(self, msg: dict, force: bool) -> None:
+        # Forced beats (task start/done) bypass — and do not reset — the
+        # rate limiter, so a short task cannot starve its window samples.
+        if not force:
+            now = time.monotonic()
+            if now - self._last < self.min_interval:
+                return
+            self._last = now
+        msg["worker"] = self.worker
+        try:
+            self._put(msg)
+        except Exception:
+            pass
+
+    def task(self, label: str) -> None:
+        """Announce the start of a task (always delivered)."""
+        self._post({"kind": "task", "label": str(label)}, force=True)
+
+    def done(self) -> None:
+        """Announce task completion (always delivered)."""
+        self._post({"kind": "done"}, force=True)
+
+    def window(self, meta: Mapping, row: Mapping) -> None:
+        """Forward one time-series window as a throughput/latency sample.
+
+        Signature-compatible with
+        :attr:`repro.obs.timeseries.TimeseriesRecorder.on_window`.
+        """
+        cycles = int(row.get("cycles", 0)) or 1
+        hosts = max(1, int(meta.get("n_hosts", 1)))
+        ejected = int(row.get("ejected", 0))
+        rate = ejected / (cycles * hosts)
+        lat = row["lat_sum"] / ejected if ejected else float("nan")
+        self._post({"kind": "window", "rate": rate, "lat": lat}, force=False)
+
+
+class RunMonitor:
+    """Parent-side monitor: heartbeat aggregation + dashboard rendering.
+
+    The render thread wakes every ``refresh`` seconds, drains the queue,
+    runs the stale-worker watchdog, and redraws.  On an ANSI-capable
+    stream the dashboard redraws in place; otherwise one plain summary
+    line is printed at most every ``plain_interval`` seconds.
+    """
+
+    def __init__(
+        self,
+        stream=None,
+        *,
+        refresh: float = 0.5,
+        stale_after: float = 15.0,
+        history: int = 120,
+        plain_interval: float = 5.0,
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.refresh = float(refresh)
+        self.stale_after = float(stale_after)
+        self.plain_interval = float(plain_interval)
+        self._lock = threading.Lock()
+        self._state: dict = {
+            "label": "",
+            "total": 0,
+            "done": 0,
+            "started": time.monotonic(),
+            "rates": deque(maxlen=int(history)),
+            "lats": deque(maxlen=int(history)),
+            "workers": {},
+        }
+        self._mgr = None
+        self._queue = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._drawn_lines = 0
+        self._last_plain = 0.0
+        self._warned_stale: set = set()
+
+    # ------------------------------------------------------------ wiring
+    def queue(self):
+        """The heartbeat queue for pool workers (created on first use).
+
+        A ``multiprocessing.Manager().Queue()`` proxy — picklable through
+        ``ProcessPoolExecutor`` initargs, unlike a raw ``mp.Queue``.
+        """
+        if self._queue is None:
+            import multiprocessing
+
+            self._mgr = multiprocessing.Manager()
+            self._queue = self._mgr.Queue()
+        return self._queue
+
+    def post(self, msg: dict) -> None:
+        """Inline sink: apply one heartbeat directly (no queue, no IPC)."""
+        with self._lock:
+            self._apply(msg)
+
+    # ------------------------------------------------------- run control
+    def begin(self, label: str, total: int) -> None:
+        """Start (or retarget) the dashboard for a run of ``total`` tasks."""
+        with self._lock:
+            self._state["label"] = str(label)
+            self._state["total"] = int(total)
+            self._state["done"] = 0
+            self._state["started"] = time.monotonic()
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="run-monitor", daemon=True
+            )
+            self._thread.start()
+
+    def step(self, n: int = 1) -> None:
+        """Count ``n`` completed tasks."""
+        with self._lock:
+            self._state["done"] += int(n)
+
+    def finish(self) -> None:
+        """Stop rendering, drain stragglers, leave a final dashboard."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._drain()
+        self._render(final=True)
+        if self._mgr is not None:
+            self._mgr.shutdown()
+            self._mgr = None
+            self._queue = None
+
+    # --------------------------------------------------------- internals
+    def _apply(self, msg: Mapping) -> None:
+        """Fold one heartbeat into the state (caller holds the lock)."""
+        wid = int(msg.get("worker", 0))
+        w = self._state["workers"].setdefault(
+            wid,
+            {
+                "label": "",
+                "rate": None,
+                "lat": None,
+                "beats": 0,
+                "last": 0.0,
+                "stale": False,
+            },
+        )
+        w["beats"] += 1
+        w["last"] = time.monotonic()
+        if w["stale"]:
+            w["stale"] = False
+            self._warned_stale.discard(wid)
+        kind = msg.get("kind")
+        if kind == "task":
+            w["label"] = str(msg.get("label", ""))
+        elif kind == "done":
+            w["label"] = "idle"
+        elif kind == "window":
+            rate = float(msg.get("rate", float("nan")))
+            lat = float(msg.get("lat", float("nan")))
+            w["rate"] = rate
+            w["lat"] = lat
+            self._state["rates"].append(rate)
+            self._state["lats"].append(lat)
+
+    def _drain(self) -> None:
+        q = self._queue
+        if q is None:
+            return
+        import queue as _queue
+
+        while True:
+            try:
+                msg = q.get_nowait()
+            except (_queue.Empty, EOFError, OSError):
+                return
+            with self._lock:
+                self._apply(msg)
+
+    def _check_stale(self, now: Optional[float] = None) -> List[int]:
+        """Watchdog: mark (and log, once) workers with stale heartbeats."""
+        now = time.monotonic() if now is None else now
+        flagged = []
+        with self._lock:
+            for wid, w in self._state["workers"].items():
+                age = now - w["last"]
+                if w["last"] and age > self.stale_after and w["label"] != "idle":
+                    w["stale"] = True
+                    w["age"] = age
+                    flagged.append(wid)
+                    if wid not in self._warned_stale:
+                        self._warned_stale.add(wid)
+                        log.warning(
+                            "monitor.stale_worker",
+                            worker=wid,
+                            age_s=round(age, 1),
+                            task=w["label"],
+                        )
+        return flagged
+
+    def _snapshot_state(self) -> dict:
+        with self._lock:
+            s = self._state
+            return {
+                "label": s["label"],
+                "total": s["total"],
+                "done": s["done"],
+                "elapsed": time.monotonic() - s["started"],
+                "rates": list(s["rates"]),
+                "lats": list(s["lats"]),
+                "workers": {k: dict(v) for k, v in s["workers"].items()},
+            }
+
+    def _render(self, final: bool = False) -> None:
+        from repro.report.ascii import render_dashboard, supports_ansi, term_width
+
+        state = self._snapshot_state()
+        stream = self.stream
+        ansi = supports_ansi(stream)
+        if ansi:
+            lines = render_dashboard(state, ansi=True, width=term_width())
+            out = ""
+            if self._drawn_lines:
+                out += f"\x1b[{self._drawn_lines}F\x1b[J"  # up + clear below
+            out += "\n".join(lines) + "\n"
+            stream.write(out)
+            stream.flush()
+            self._drawn_lines = len(lines)
+        else:
+            now = time.monotonic()
+            if not final and now - self._last_plain < self.plain_interval:
+                return
+            self._last_plain = now
+            lines = render_dashboard(state, ansi=False, width=term_width())
+            head = lines[0] if lines else ""
+            stale = sum(1 for w in state["workers"].values() if w.get("stale"))
+            if stale:
+                head += f" · {stale} stale worker(s)"
+            stream.write(head + "\n")
+            stream.flush()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.refresh):
+            try:
+                self._drain()
+                self._check_stale()
+                self._render()
+            except Exception:  # a render glitch must not kill the run
+                pass
+
+
+# --------------------------------------------------------- module state
+_active: Optional[RunMonitor] = None
+
+
+def enable(**kwargs) -> RunMonitor:
+    """Install (and return) the process's active monitor."""
+    global _active
+    _active = RunMonitor(**kwargs)
+    return _active
+
+
+def disable() -> None:
+    """Tear the monitor down (stops its render thread if running)."""
+    global _active
+    mon = _active
+    _active = None
+    if mon is not None:
+        mon.finish()
+
+
+def enabled() -> bool:
+    return _active is not None
+
+
+def active() -> Optional[RunMonitor]:
+    return _active

@@ -8,21 +8,31 @@ machine-readable exports for downstream analysis.
 
 from repro.report.ascii import (
     bar_chart,
+    colorize,
     latency_decomposition_table,
     line_chart,
     link_load_report,
     path_share_table,
+    render_dashboard,
+    sparkline,
     stage_timing_table,
+    supports_ansi,
+    term_width,
 )
 from repro.report.export import result_to_csv, result_to_json, save_result
 
 __all__ = [
     "bar_chart",
+    "colorize",
     "line_chart",
     "link_load_report",
     "latency_decomposition_table",
     "path_share_table",
+    "render_dashboard",
+    "sparkline",
     "stage_timing_table",
+    "supports_ansi",
+    "term_width",
     "result_to_csv",
     "result_to_json",
     "save_result",

@@ -6,11 +6,21 @@ throughput comparisons (Figures 4-10).  The telemetry layer adds two
 summary views: :func:`stage_timing_table` for a run's span timers and
 :func:`link_load_report` for per-scheme link-utilization arrays (the
 paper's KSP-piles-paths-onto-the-same-links claim, made visible).
+
+Terminal-capability helpers live here too: :func:`supports_ansi` (honours
+``NO_COLOR``, ``TERM=dumb`` and non-TTY streams), :func:`term_width`,
+:func:`colorize`, :func:`sparkline`, and :func:`render_dashboard` — the
+pure state-to-lines renderer behind the live run monitor
+(:mod:`repro.obs.monitor`).  Charts clamp their width to the terminal so
+narrow sessions degrade to narrower bars instead of wrapped garbage.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence, Tuple
+import math
+import os
+import shutil
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,9 +34,85 @@ __all__ = [
     "link_load_report",
     "latency_decomposition_table",
     "path_share_table",
+    "supports_ansi",
+    "term_width",
+    "colorize",
+    "sparkline",
+    "render_dashboard",
 ]
 
 _MARKERS = "ox+*#@%&"
+
+# ------------------------------------------------- terminal capabilities
+def supports_ansi(stream=None) -> bool:
+    """Whether ``stream`` (default stdout) should receive ANSI escapes.
+
+    False when the ``NO_COLOR`` convention is in force (any value),
+    ``TERM`` is ``dumb``/unset-to-nothing, or the stream is not a TTY —
+    redirected output gets plain text.
+    """
+    if os.environ.get("NO_COLOR") is not None:
+        return False
+    if os.environ.get("TERM", "") == "dumb":
+        return False
+    if stream is None:
+        import sys
+
+        stream = sys.stdout
+    isatty = getattr(stream, "isatty", None)
+    return bool(isatty and isatty())
+
+
+def term_width(default: int = 80) -> int:
+    """Best-effort terminal column count (``COLUMNS`` wins, else ioctl)."""
+    try:
+        return shutil.get_terminal_size((default, 24)).columns
+    except (ValueError, OSError):
+        return default
+
+
+def colorize(text: str, code: str, stream=None) -> str:
+    """Wrap ``text`` in an SGR escape iff the stream supports ANSI.
+
+    ``code`` is the SGR parameter string (e.g. ``"31"`` red, ``"1;33"``
+    bold yellow); with ANSI unsupported the text passes through unchanged.
+    """
+    if not supports_ansi(stream):
+        return text
+    return f"\x1b[{code}m{text}\x1b[0m"
+
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+_SPARK_ASCII = " .:-=+*#"
+
+
+def sparkline(
+    values: Sequence[float], *, width: Optional[int] = None, ascii_only: bool = False
+) -> str:
+    """One-line min-max-scaled chart of ``values`` (NaNs render as gaps).
+
+    ``width`` keeps only the most recent values; ``ascii_only`` swaps the
+    unicode eighth-blocks for plain ASCII shades (dumb terminals).
+    """
+    vals = [float(v) for v in values]
+    if width is not None and width > 0:
+        vals = vals[-width:]
+    finite = [v for v in vals if not math.isnan(v)]
+    if not finite:
+        return " " * len(vals)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    glyphs = _SPARK_ASCII if ascii_only else _SPARK_BLOCKS
+    top = len(glyphs) - 1
+    out = []
+    for v in vals:
+        if math.isnan(v):
+            out.append(" ")
+        elif span == 0:
+            out.append(glyphs[top // 2])
+        else:
+            out.append(glyphs[int(round((v - lo) / span * top))])
+    return "".join(out)
 
 
 def line_chart(
@@ -48,6 +134,8 @@ def line_chart(
         raise ConfigurationError("line_chart needs at least one series")
     if width < 8 or height < 4:
         raise ConfigurationError("chart too small to render")
+    # Narrow terminals get a narrower grid, never wrapped rows.
+    width = max(8, min(width, term_width() - 2))
     pts = [(x, y) for s in series.values() for x, y in s]
     if not pts:
         raise ConfigurationError("all series are empty")
@@ -96,6 +184,8 @@ def bar_chart(
     if top < 0:
         raise ConfigurationError("bar_chart needs non-negative values")
     label_w = max(len(k) for k in values)
+    # Keep label + bar + value inside the terminal on narrow sessions.
+    width = max(4, min(width, term_width() - label_w - 13))
     lines = [title] if title else []
     for label, v in values.items():
         if v < 0:
@@ -243,3 +333,82 @@ def path_share_table(
         row.append(f"{off:.1f}%")
         rows.append(row)
     return format_table(header, rows, title=title)
+
+
+def render_dashboard(
+    state: Mapping, *, ansi: bool = False, width: Optional[int] = None
+) -> List[str]:
+    """Render the live monitor's state dict as dashboard lines.
+
+    Pure function — the monitor owns timing, queues and cursor movement;
+    this owns layout, so tests can assert on lines without a TTY.  Expects
+    the state shape :class:`repro.obs.monitor.RunMonitor` maintains:
+    ``label`` / ``done`` / ``total`` / ``elapsed``, recent ``rates`` and
+    ``lats`` window samples, and a ``workers`` map of per-worker dicts
+    (``label``, ``rate``, ``lat``, ``beats``, ``age``, ``stale``).
+    """
+    cols = width if width is not None else term_width()
+    cols = max(30, cols)
+    spark_w = max(8, min(24, cols - 56))
+    lines: List[str] = []
+
+    label = str(state.get("label") or "run")
+    done = int(state.get("done", 0))
+    total = int(state.get("total", 0))
+    elapsed = float(state.get("elapsed", 0.0))
+    from repro.obs.progress import format_eta
+
+    head = f"◉ {label} · {done}/{total} tasks · {format_eta(elapsed)} elapsed"
+    if total > 0 and 0 < done < total and elapsed > 0:
+        head += f" · ETA {format_eta(elapsed * (total - done) / done)}"
+    lines.append(head)
+
+    rates = list(state.get("rates") or [])
+    lats = list(state.get("lats") or [])
+    ascii_only = not ansi
+    if rates:
+        cur = next((v for v in reversed(rates) if not math.isnan(v)), float("nan"))
+        lines.append(
+            f"  throughput {sparkline(rates, width=spark_w, ascii_only=ascii_only)}"
+            f" {cur:.3f} flits/host/cycle"
+        )
+    if lats:
+        cur = next((v for v in reversed(lats) if not math.isnan(v)), float("nan"))
+        lines.append(
+            f"  latency    {sparkline(lats, width=spark_w, ascii_only=ascii_only)}"
+            f" {cur:.1f} cycles"
+        )
+
+    workers = state.get("workers") or {}
+    for wid in sorted(workers):
+        w = workers[wid]
+        stale = bool(w.get("stale"))
+        mark = "◌" if stale else "●"
+        wl = str(w.get("label") or "idle")
+        rate = w.get("rate")
+        lat = w.get("lat")
+        tail = ""
+        if rate is not None and not math.isnan(rate):
+            tail += f"  rate {rate:.3f}"
+        if lat is not None and not math.isnan(lat):
+            tail += f"  lat {lat:.1f}"
+        tail += f"  beats {int(w.get('beats', 0))}"
+        if stale:
+            age = float(w.get("age", 0.0))
+            flag = f"STALE {age:.1f}s"
+            if ansi:
+                flag = f"\x1b[31m{flag}\x1b[0m"
+            tail += f"  {flag}"
+        line = f"  {mark} w{wid} {wl}{tail}"
+        lines.append(line)
+
+    # Clamp every line to the terminal; ANSI escapes are only ever in the
+    # tail of stale rows, which survive clamping in practice — but never
+    # emit a line that would wrap.
+    out = []
+    for line in lines:
+        if ansi and "\x1b[" in line:
+            out.append(line)
+        else:
+            out.append(line[:cols])
+    return out

@@ -227,6 +227,39 @@ class TestSimulatorMechanics:
         assert extra >= 0
         sim.check_conservation()
 
+    def test_drain_budget_exhaustion_raises(self, topo, paths):
+        # A heavily loaded network cannot possibly empty in one cycle, so
+        # an absurd drain budget must hit the SimulationError path instead
+        # of silently returning with packets still in flight.
+        cfg = SimConfig(
+            warmup_cycles=100, sample_cycles=100, n_samples=3,
+            drain_max_cycles=1,
+        )
+        sim = Simulator(
+            topo, paths, "random", UniformTraffic(topo.n_hosts), 0.9, cfg, seed=1
+        )
+        sim.run()
+        assert sim.in_flight() > 0
+        with pytest.raises(SimulationError, match="failed to drain"):
+            sim.drain()
+        # The failed drain loses nothing: conservation still holds.
+        sim.check_conservation()
+
+    def test_zero_warmup_run(self, topo, paths):
+        # warmup_cycles=0 means measurement starts at cycle 0; the run
+        # must still produce coherent statistics and drain cleanly.
+        cfg = SimConfig(warmup_cycles=0, sample_cycles=100, n_samples=3)
+        sim = Simulator(
+            topo, paths, "random", UniformTraffic(topo.n_hosts), 0.2, cfg, seed=2
+        )
+        result = sim.run()
+        assert result.injected > 0
+        assert result.measured_delivered == result.delivered
+        assert result.mean_latency > 0
+        assert not result.saturated
+        sim.drain()
+        sim.check_conservation()
+
 
 class TestSimConfig:
     def test_defaults_match_paper(self):

@@ -1,0 +1,212 @@
+"""Live run monitor: heartbeats, state folding, the stale-worker
+watchdog, and the inline (processes=1) integration with the parallel
+drivers."""
+
+import io
+import math
+import time
+
+import pytest
+
+from repro import Jellyfish, PathCache
+from repro.netsim import SimConfig
+from repro.netsim.parallel import run_saturation_grid
+from repro.obs import monitor
+from repro.obs.monitor import Heartbeater, RunMonitor
+from repro.obs import timeseries
+from repro.traffic import random_permutation
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def _monitor_disabled():
+    monitor.disable()
+    timeseries.disable()
+    yield
+    monitor.disable()
+    timeseries.disable()
+
+
+# ----------------------------------------------------------- heartbeater
+
+class TestHeartbeater:
+    def test_callable_sink_receives_task_and_done(self):
+        beats = []
+        hb = Heartbeater(beats.append, worker=7)
+        hb.task("cell 0")
+        hb.done()
+        assert beats == [
+            {"kind": "task", "label": "cell 0", "worker": 7},
+            {"kind": "done", "worker": 7},
+        ]
+
+    def test_queue_like_sink_uses_put_nowait(self):
+        class FakeQueue:
+            def __init__(self):
+                self.items = []
+
+            def put_nowait(self, msg):
+                self.items.append(msg)
+
+        q = FakeQueue()
+        Heartbeater(q, worker=1).task("x")
+        assert q.items[0]["kind"] == "task"
+
+    def test_window_samples_are_rate_limited(self):
+        beats = []
+        hb = Heartbeater(beats.append, min_interval=60.0)
+        meta = {"n_hosts": 4}
+        row = {"cycles": 10, "ejected": 8, "lat_sum": 160}
+        hb.window(meta, row)  # first sample goes through
+        hb.window(meta, row)  # inside min_interval: dropped
+        hb.window(meta, row)
+        assert len(beats) == 1
+        assert beats[0]["rate"] == pytest.approx(8 / (10 * 4))
+        assert beats[0]["lat"] == pytest.approx(20.0)
+        # Forced beats ignore the rate limit.
+        hb.task("next")
+        assert len(beats) == 2
+
+    def test_window_with_no_ejections_posts_nan_latency(self):
+        beats = []
+        hb = Heartbeater(beats.append)
+        hb.window({"n_hosts": 2}, {"cycles": 10, "ejected": 0, "lat_sum": 0})
+        assert beats[0]["rate"] == 0.0
+        assert math.isnan(beats[0]["lat"])
+
+    def test_sink_exceptions_never_propagate(self):
+        def broken(msg):
+            raise RuntimeError("monitor died")
+
+        hb = Heartbeater(broken)
+        hb.task("x")  # must not raise
+        hb.done()
+        hb.window({}, {"cycles": 1, "ejected": 1, "lat_sum": 1})
+
+
+# ------------------------------------------------------------ runmonitor
+
+def _mon(**kwargs):
+    kwargs.setdefault("stream", io.StringIO())
+    return RunMonitor(**kwargs)
+
+
+class TestRunMonitor:
+    def test_post_folds_heartbeats_into_state(self):
+        mon = _mon()
+        mon.post({"kind": "task", "label": "cell 3", "worker": 2})
+        mon.post({"kind": "window", "rate": 0.4, "lat": 33.0, "worker": 2})
+        mon.post({"kind": "done", "worker": 2})
+        w = mon._state["workers"][2]
+        assert w["label"] == "idle"
+        assert w["beats"] == 3
+        assert w["rate"] == 0.4 and w["lat"] == 33.0
+        assert list(mon._state["rates"]) == [0.4]
+        assert list(mon._state["lats"]) == [33.0]
+
+    def test_history_is_bounded(self):
+        mon = _mon(history=5)
+        for i in range(20):
+            mon.post({"kind": "window", "rate": float(i), "lat": 1.0, "worker": 0})
+        assert list(mon._state["rates"]) == [15.0, 16.0, 17.0, 18.0, 19.0]
+
+    def test_watchdog_flags_and_warns_once(self):
+        mon = _mon(stale_after=0.01)
+        mon.post({"kind": "task", "label": "slow cell", "worker": 4})
+        time.sleep(0.03)
+        assert mon._check_stale() == [4]
+        assert mon._state["workers"][4]["stale"]
+        assert mon._warned_stale == {4}
+        mon._check_stale()  # second pass: still stale, no second warning
+        assert mon._warned_stale == {4}
+        # A fresh heartbeat clears the flag and re-arms the warning.
+        mon.post({"kind": "window", "rate": 0.1, "lat": 5.0, "worker": 4})
+        assert not mon._state["workers"][4]["stale"]
+        assert mon._warned_stale == set()
+
+    def test_watchdog_ignores_idle_workers(self):
+        mon = _mon(stale_after=0.01)
+        mon.post({"kind": "task", "label": "cell", "worker": 1})
+        mon.post({"kind": "done", "worker": 1})
+        time.sleep(0.03)
+        assert mon._check_stale() == []
+
+    def test_plain_stream_gets_final_summary(self):
+        out = io.StringIO()
+        mon = RunMonitor(stream=out, refresh=0.05, plain_interval=0.0)
+        mon.begin("demo-run", 3)
+        mon.post({"kind": "task", "label": "cell", "worker": 0})
+        mon.step()
+        mon.step(2)
+        mon.finish()
+        text = out.getvalue()
+        assert "demo-run" in text
+        assert "3/3 tasks" in text
+
+    def test_finish_is_idempotent_and_rebeginnable(self):
+        mon = _mon(refresh=0.05)
+        mon.begin("a", 1)
+        mon.finish()
+        mon.finish()
+        mon.begin("b", 1)
+        mon.step()
+        mon.finish()
+        assert mon._state["done"] == 1
+
+    def test_module_state(self):
+        assert monitor.active() is None
+        mon = monitor.enable(stream=io.StringIO())
+        assert monitor.enabled()
+        assert monitor.active() is mon
+        monitor.disable()
+        assert not monitor.enabled()
+        monitor.disable()  # disabling twice is fine
+
+
+# ----------------------------------------------------------- integration
+
+@pytest.fixture(scope="module")
+def topo():
+    return Jellyfish(8, 6, 4, seed=1)
+
+
+def test_grid_inline_feeds_monitor(topo):
+    out = io.StringIO()
+    mon = monitor.enable(stream=out, refresh=0.05, plain_interval=0.0)
+    timeseries.enable(window=10)
+    pattern = random_permutation(topo.n_hosts, seed=0)
+    cfg = SimConfig(warmup_cycles=20, sample_cycles=20, n_samples=1)
+    run_saturation_grid(
+        topo, ("ksp",), ("random",), [pattern],
+        k=2, rates=(0.2,), config=cfg, seed=9, processes=1,
+    )
+    assert mon._state["done"] == 1
+    workers = mon._state["workers"]
+    assert len(workers) == 1
+    assert all(w["label"] == "idle" for w in workers.values())
+    # The time-series on_window hook fed throughput samples through.
+    assert len(mon._state["rates"]) > 0
+    assert "saturation-grid" in out.getvalue()
+
+
+def test_precompute_inline_feeds_monitor(topo):
+    out = io.StringIO()
+    mon = monitor.enable(stream=out, refresh=0.05, plain_interval=0.0)
+    cache = PathCache(topo, "ksp", k=2, seed=0)
+    pairs = [(0, 1), (0, 2), (1, 3)]
+    n = cache.precompute_parallel(pairs, processes=1)
+    assert n == 3
+    assert mon._state["done"] == 3
+    assert "path-precompute" in out.getvalue()
+
+
+def test_grid_runs_unmonitored_when_disabled(topo):
+    # No monitor, no timeseries: the plain path still works.
+    pattern = random_permutation(topo.n_hosts, seed=0)
+    cfg = SimConfig(warmup_cycles=20, sample_cycles=20, n_samples=1)
+    result = run_saturation_grid(
+        topo, ("ksp",), ("random",), [pattern],
+        k=2, rates=(0.2,), config=cfg, seed=9, processes=1,
+    )
+    assert ("ksp", "random") in result

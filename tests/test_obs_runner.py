@@ -70,3 +70,107 @@ def test_runner_telemetry_scoped_per_experiment(tmp_path):
         # Each manifest holds only its own experiment's span.
         spans = [k for k in doc["stage_timings"] if k.startswith("experiment.")]
         assert spans == [f"experiment.{name}"]
+
+
+def test_timeseries_flag_requires_telemetry_dir():
+    with pytest.raises(SystemExit):
+        main(["table1", "--timeseries-window", "100"])
+
+
+def test_timeseries_window_must_be_positive(tmp_path):
+    with pytest.raises(SystemExit):
+        main([
+            "table1", "--telemetry-dir", str(tmp_path),
+            "--timeseries-window", "0",
+        ])
+
+
+def _tiny_sim_experiment(scale="small", seed=0):
+    """A seconds-fast cycle-level driver for CLI-path tests."""
+    from repro import Jellyfish, PathCache
+    from repro.experiments.base import ExperimentResult
+    from repro.netsim import SimConfig, Simulator, UniformTraffic
+
+    topo = Jellyfish(8, 6, 4, seed=1)
+    cache = PathCache(topo, "ksp", k=2, seed=seed)
+    cfg = SimConfig(warmup_cycles=100, sample_cycles=50, n_samples=2)
+    result = Simulator(
+        topo, cache, "random", UniformTraffic(topo.n_hosts), 0.2,
+        config=cfg, seed=seed,
+    ).run()
+    return ExperimentResult(
+        experiment="tiny_sim",
+        title="tiny cycle-level run",
+        headers=["metric", "value"],
+        rows=[["throughput", round(result.accepted_throughput, 3)]],
+        scale=scale,
+        notes="",
+        data={"throughput": result.accepted_throughput},
+    )
+
+
+def test_runner_writes_timeseries_and_steady_report(tmp_path, capsys, monkeypatch):
+    from repro.experiments import runner
+    from repro.obs.timeseries import load_timeseries
+
+    monkeypatch.setitem(runner.EXPERIMENTS, "tiny_sim", _tiny_sim_experiment)
+    out_dir = tmp_path / "tel"
+    assert main([
+        "tiny_sim", "--scale", "small",
+        "--telemetry-dir", str(out_dir), "--timeseries-window", "25",
+    ]) == 0
+
+    snap = load_timeseries(out_dir / "tiny_sim-small.timeseries.npz")
+    assert snap["window"] == 25
+    assert snap["n_runs"] == 1
+    assert snap["n_windows"] == 8  # 200 cycles / 25
+
+    manifest = json.loads((out_dir / "tiny_sim-small.manifest.json").read_text())
+    assert manifest["config"]["timeseries_window"] == 25
+    steady = manifest["steady_state"]
+    assert steady["n_runs"] == 1
+    assert steady["runs"][0]["warmup_cycles"] == 100
+    assert isinstance(steady["runs"][0]["warmup_sufficient"], bool)
+
+    printed = capsys.readouterr().out
+    assert "steady state:" in printed
+    assert "# timeseries:" in printed
+
+
+def test_runner_steady_state_flag_reaches_simulator(tmp_path, monkeypatch):
+    from repro.experiments import runner
+
+    seen = {}
+
+    def probe(scale="small", seed=0, steady_state=False):
+        seen["steady_state"] = steady_state
+        return _tiny_sim_experiment(scale, seed)
+
+    monkeypatch.setitem(runner.EXPERIMENTS, "probe", probe)
+    assert main(["probe", "--steady-state"]) == 0
+    assert seen["steady_state"] is True
+    assert main(["probe"]) == 0
+    assert seen["steady_state"] is False
+
+
+def test_git_commit_cached_per_process(monkeypatch):
+    import subprocess
+
+    from repro.obs import manifest as obs_manifest
+
+    calls = {"n": 0}
+    real_run = subprocess.run
+
+    def counting_run(*args, **kwargs):
+        calls["n"] += 1
+        return real_run(*args, **kwargs)
+
+    obs_manifest._git_commit.cache_clear()
+    monkeypatch.setattr(obs_manifest.subprocess, "run", counting_run)
+    try:
+        first = obs_manifest._git_commit()
+        second = obs_manifest._git_commit()
+        assert first == second
+        assert calls["n"] == 1  # the subprocess forked exactly once
+    finally:
+        obs_manifest._git_commit.cache_clear()

@@ -119,3 +119,157 @@ class TestExport:
         payload = json.loads(result_to_json(r))
         assert payload["experiment"] == "table1"
         save_result(r, tmp_path / "t1.csv")
+
+
+class _FakeStream:
+    def __init__(self, tty):
+        self._tty = tty
+
+    def isatty(self):
+        return self._tty
+
+
+class TestTerminalCapabilities:
+    def test_no_color_disables_ansi(self, monkeypatch):
+        from repro.report import supports_ansi
+
+        monkeypatch.delenv("NO_COLOR", raising=False)
+        monkeypatch.setenv("TERM", "xterm-256color")
+        assert supports_ansi(_FakeStream(tty=True))
+        # The NO_COLOR convention: any value, even empty, disables ANSI.
+        monkeypatch.setenv("NO_COLOR", "")
+        assert not supports_ansi(_FakeStream(tty=True))
+
+    def test_dumb_terminal_and_non_tty_disable_ansi(self, monkeypatch):
+        from repro.report import supports_ansi
+
+        monkeypatch.delenv("NO_COLOR", raising=False)
+        monkeypatch.setenv("TERM", "dumb")
+        assert not supports_ansi(_FakeStream(tty=True))
+        monkeypatch.setenv("TERM", "xterm")
+        assert not supports_ansi(_FakeStream(tty=False))
+
+    def test_colorize_respects_capability(self, monkeypatch):
+        from repro.report import colorize
+
+        monkeypatch.delenv("NO_COLOR", raising=False)
+        monkeypatch.setenv("TERM", "xterm")
+        assert colorize("hot", "31", _FakeStream(tty=True)) == "\x1b[31mhot\x1b[0m"
+        monkeypatch.setenv("NO_COLOR", "1")
+        assert colorize("hot", "31", _FakeStream(tty=True)) == "hot"
+
+    def test_term_width_honours_columns(self, monkeypatch):
+        from repro.report import term_width
+
+        monkeypatch.setenv("COLUMNS", "44")
+        assert term_width() == 44
+
+
+class TestSparkline:
+    def test_scaling_and_glyphs(self):
+        from repro.report import sparkline
+
+        s = sparkline([0.0, 1.0], ascii_only=True)
+        assert s == " #"  # min and max glyphs
+        u = sparkline([0.0, 1.0])
+        assert u == "▁█"
+
+    def test_nan_renders_as_gap(self):
+        from repro.report import sparkline
+
+        assert sparkline([5.0, float("nan"), 9.0]) == "▁ █"
+
+    def test_width_keeps_most_recent(self):
+        from repro.report import sparkline
+
+        assert len(sparkline(list(range(100)), width=10)) == 10
+
+    def test_flat_series_renders_mid_glyph(self):
+        from repro.report import sparkline
+
+        assert sparkline([3.0, 3.0, 3.0], ascii_only=True) == "---"
+
+    def test_all_nan_is_blank(self):
+        from repro.report import sparkline
+
+        assert sparkline([float("nan")] * 3) == "   "
+
+
+class TestNarrowTerminals:
+    def test_line_chart_clamps_to_terminal(self, monkeypatch):
+        monkeypatch.setenv("COLUMNS", "40")
+        out = line_chart({"a": [(0, 0), (1, 1)]}, width=120)
+        for row in out.splitlines():
+            assert len(row) <= 40
+
+    def test_bar_chart_clamps_to_terminal(self, monkeypatch):
+        monkeypatch.setenv("COLUMNS", "40")
+        out = bar_chart({"scheme-with-a-name": 1.0, "b": 0.5}, width=120)
+        for row in out.splitlines():
+            assert len(row) <= 40
+
+
+class TestRenderDashboard:
+    def _state(self, **over):
+        state = {
+            "label": "demo-grid",
+            "total": 8,
+            "done": 2,
+            "elapsed": 10.0,
+            "rates": [0.1, 0.2, 0.3],
+            "lats": [30.0, 31.0, 29.0],
+            "workers": {
+                1: {"label": "ksp/random p0", "rate": 0.3, "lat": 29.0,
+                    "beats": 5, "stale": False},
+            },
+        }
+        state.update(over)
+        return state
+
+    def test_head_line_and_eta(self):
+        from repro.report import render_dashboard
+
+        lines = render_dashboard(self._state(), width=100)
+        assert "demo-grid" in lines[0]
+        assert "2/8 tasks" in lines[0]
+        assert "ETA" in lines[0]
+
+    def test_sparkline_rows_show_latest_values(self):
+        from repro.report import render_dashboard
+
+        lines = render_dashboard(self._state(), width=100)
+        text = "\n".join(lines)
+        assert "0.300 flits/host/cycle" in text
+        assert "29.0 cycles" in text
+
+    def test_worker_rows(self):
+        from repro.report import render_dashboard
+
+        lines = render_dashboard(self._state(), width=100)
+        worker = [l for l in lines if "w1 " in l]
+        assert len(worker) == 1
+        assert "ksp/random p0" in worker[0]
+        assert "beats 5" in worker[0]
+
+    def test_stale_worker_is_flagged(self):
+        from repro.report import render_dashboard
+
+        state = self._state()
+        state["workers"][1].update(stale=True, age=20.0)
+        plain = "\n".join(render_dashboard(state, width=100))
+        assert "STALE 20.0s" in plain
+        ansi = "\n".join(render_dashboard(state, ansi=True, width=100))
+        assert "\x1b[31m" in ansi
+
+    def test_lines_clamped_to_width(self):
+        from repro.report import render_dashboard
+
+        state = self._state(label="x" * 200)
+        for line in render_dashboard(state, width=40):
+            assert len(line) <= 40
+
+    def test_empty_state_renders(self):
+        from repro.report import render_dashboard
+
+        lines = render_dashboard({}, width=80)
+        assert lines and "0/0 tasks" in lines[0]
