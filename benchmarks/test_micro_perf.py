@@ -105,9 +105,78 @@ def test_perf_simulator_cycles(benchmark):
         )
         return sim.run()
 
-    r = benchmark.pedantic(run, rounds=3, iterations=1)
+    r = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
     assert r.delivered > 0
     assert metrics.snapshot() is None
+
+
+@pytest.mark.obs
+def test_perf_simulator_cycles_reference(benchmark):
+    """The same workload on the reference (object-per-packet) engine.
+
+    Committed next to ``test_perf_simulator_cycles`` so every benchmark
+    export records the fast-core speedup as the ratio of the two rows;
+    the CI perf-smoke job gates the fast row, and this one documents
+    what it is being compared against.
+    """
+    topo = Jellyfish(12, 10, 6, seed=7)
+    cache = PathCache(topo, "redksp", k=4, seed=1)
+    cfg = SimConfig(
+        warmup_cycles=100, sample_cycles=100, n_samples=2,
+        engine="reference",
+    )
+
+    def run():
+        sim = Simulator(
+            topo, cache, "ksp_adaptive", UniformTraffic(topo.n_hosts),
+            0.5, cfg, seed=0,
+        )
+        return sim.run()
+
+    r = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert r.delivered > 0
+
+
+def test_perf_path_index_map(benchmark):
+    """Memoised ``PathCache.path_index_map`` vs per-call dict rebuild.
+
+    The launch loop used to rebuild ``{path nodes: index}`` for every
+    traced packet; the memoised map makes the lookup O(1) after the
+    first call per pair.  Benchmarked over every warmed pair to show the
+    amortised cost (compare ``test_perf_path_index_map_rebuild``).
+    """
+    topo = Jellyfish(12, 10, 6, seed=7)
+    cache = PathCache(topo, "redksp", k=4, seed=1)
+    pairs = [(s, d) for s in range(10) for d in range(10) if s != d]
+    cache.precompute(pairs)
+    for s, d in pairs:
+        cache.path_index_map(s, d)
+
+    def lookup():
+        total = 0
+        for s, d in pairs:
+            total += len(cache.path_index_map(s, d))
+        return total
+
+    n = benchmark(lookup)
+    assert n > 0
+
+
+def test_perf_path_index_map_rebuild(benchmark):
+    """The pre-memoisation behaviour: rebuild the index map per call."""
+    topo = Jellyfish(12, 10, 6, seed=7)
+    cache = PathCache(topo, "redksp", k=4, seed=1)
+    pairs = [(s, d) for s in range(10) for d in range(10) if s != d]
+    cache.precompute(pairs)
+
+    def rebuild():
+        total = 0
+        for s, d in pairs:
+            total += len({p.nodes: i for i, p in enumerate(cache.get(s, d))})
+        return total
+
+    n = benchmark(rebuild)
+    assert n > 0
 
 
 @pytest.mark.obs
@@ -134,7 +203,7 @@ def test_perf_simulator_cycles_traced(benchmark):
         assert rec.n_packets > 0
         return result
 
-    r = benchmark.pedantic(run, rounds=3, iterations=1)
+    r = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
     assert r.delivered > 0
     assert not trace.enabled()
 
@@ -163,6 +232,6 @@ def test_perf_simulator_cycles_timeseries(benchmark):
         assert rec.n_windows > 0
         return result
 
-    r = benchmark.pedantic(run, rounds=3, iterations=1)
+    r = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
     assert r.delivered > 0
     assert not timeseries.enabled()

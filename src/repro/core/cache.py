@@ -77,6 +77,10 @@ class PathCache:
         self.hits = 0
         self.misses = 0
         self._store: Dict[Tuple[int, int], PathSet] = {}
+        # (source, destination) -> {path nodes: index in the PathSet},
+        # built once per pair at cache-warm time (see path_index_map) and
+        # shared by every simulator run on this cache.
+        self._index_maps: Dict[Tuple[int, int], Dict[Tuple[int, ...], int]] = {}
         # All selections run on the topology's shared BFS kernels, so the
         # per-source level fields are computed once across every pair.
         self._graph = topology.kernels
@@ -107,6 +111,25 @@ class PathCache:
             reg = metrics._active
             if reg is not None:
                 reg.counter("core.cache.hit").inc()
+        return found
+
+    def path_index_map(
+        self, source: int, destination: int
+    ) -> Dict[Tuple[int, ...], int]:
+        """``{path nodes: index}`` for one pair's PathSet, memoised.
+
+        Consumers that need to map a chosen route back to its position in
+        the pair's PathSet (the flight recorder, the fast core's route
+        tables) share one dict per pair instead of rebuilding it per
+        packet or per run.
+        """
+        key = (source, destination)
+        found = self._index_maps.get(key)
+        if found is None:
+            found = {
+                p.nodes: i for i, p in enumerate(self.get(source, destination))
+            }
+            self._index_maps[key] = found
         return found
 
     def precompute(self, pairs: Iterable[Tuple[int, int]]) -> None:

@@ -167,6 +167,14 @@ def main(argv=None) -> int:
         "and prints its summary (requires --telemetry-dir)",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each experiment under cProfile; writes "
+        "<experiment>-<scale>.profile.pstats next to the manifest, records "
+        "the path in the manifest, and prints the top-10 cumulative "
+        "hotspots (requires --telemetry-dir)",
+    )
+    parser.add_argument(
         "--steady-state",
         action="store_true",
         help="convergence-driven run control for cycle-level experiments: "
@@ -201,6 +209,8 @@ def main(argv=None) -> int:
             parser.error("--timeseries-window must be >= 1")
         if telemetry_dir is None:
             parser.error("--timeseries-window requires --telemetry-dir")
+    if args.profile and telemetry_dir is None:
+        parser.error("--profile requires --telemetry-dir")
 
     store = None
     if args.path_store is not None:
@@ -234,12 +244,22 @@ def main(argv=None) -> int:
                 processes=args.processes,
             )
             t0 = time.perf_counter()
-            with metrics.span(f"experiment.{name}"):
-                result = run_experiment(
-                    name, scale=args.scale, seed=args.seed,
-                    processes=args.processes, path_store=store,
-                    steady_state=args.steady_state,
-                )
+            profiler = None
+            if args.profile:
+                import cProfile
+
+                profiler = cProfile.Profile()
+                profiler.enable()
+            try:
+                with metrics.span(f"experiment.{name}"):
+                    result = run_experiment(
+                        name, scale=args.scale, seed=args.seed,
+                        processes=args.processes, path_store=store,
+                        steady_state=args.steady_state,
+                    )
+            finally:
+                if profiler is not None:
+                    profiler.disable()
             wall = time.perf_counter() - t0
             obs_log.info(
                 "experiment_done", experiment=name, wall_time_s=round(wall, 3)
@@ -254,7 +274,7 @@ def main(argv=None) -> int:
                 save_result(result, out / f"{name}.json")
                 save_result(result, out / f"{name}.csv")
             if telemetry_dir is not None:
-                _emit_telemetry(name, args, wall, telemetry_dir)
+                _emit_telemetry(name, args, wall, telemetry_dir, profiler)
     finally:
         metrics.disable()
         obs_trace.disable()
@@ -264,7 +284,9 @@ def main(argv=None) -> int:
     return 0
 
 
-def _emit_telemetry(name: str, args, wall: float, telemetry_dir: Path) -> None:
+def _emit_telemetry(
+    name: str, args, wall: float, telemetry_dir: Path, profiler=None
+) -> None:
     """Write the run manifest (and trace/time series), print the summary."""
     from repro.report import link_load_report, stage_timing_table
 
@@ -272,6 +294,9 @@ def _emit_telemetry(name: str, args, wall: float, telemetry_dir: Path) -> None:
     ts_path = None
     if args.timeseries_window is not None:
         steady_report, ts_path = _emit_timeseries(name, args, telemetry_dir)
+    profile_path = None
+    if profiler is not None:
+        profile_path = _emit_profile(name, args, telemetry_dir, profiler)
     snap = metrics.snapshot() or {}
     doc = build_manifest(
         experiment=name,
@@ -284,10 +309,12 @@ def _emit_telemetry(name: str, args, wall: float, telemetry_dir: Path) -> None:
             "trace_sample": args.trace_sample,
             "timeseries_window": args.timeseries_window,
             "steady_state": args.steady_state,
+            "profile": args.profile,
         },
         wall_time_s=wall,
         metrics_snapshot=snap,
         steady_state=steady_report,
+        profile=str(profile_path) if profile_path is not None else None,
     )
     path = write_manifest(doc, telemetry_dir, f"{name}-{args.scale}.manifest.json")
     print(stage_timing_table(snap.get("timers", {})))
@@ -312,10 +339,30 @@ def _emit_telemetry(name: str, args, wall: float, telemetry_dir: Path) -> None:
         _emit_trace(name, args, telemetry_dir)
     if ts_path is not None:
         print(f"# timeseries: {ts_path}")
+    if profile_path is not None:
+        print(f"# profile:  {profile_path}")
     print(f"# manifest: {path}")
     print()
     obs_log.info("manifest_written", experiment=name, path=str(path))
     obs_log.close_jsonl()
+
+
+def _emit_profile(name: str, args, telemetry_dir: Path, profiler) -> Path:
+    """Dump the cProfile stats, print the hotspot table, return the path."""
+    import pstats
+
+    from repro.report import profile_hotspots_table
+
+    telemetry_dir.mkdir(parents=True, exist_ok=True)
+    profile_path = telemetry_dir / f"{name}-{args.scale}.profile.pstats"
+    profiler.dump_stats(profile_path)
+    stats = pstats.Stats(profiler)
+    print()
+    print(profile_hotspots_table(stats, top=10))
+    obs_log.info(
+        "profile_written", experiment=name, path=str(profile_path)
+    )
+    return profile_path
 
 
 def _emit_timeseries(name: str, args, telemetry_dir: Path):

@@ -16,6 +16,7 @@ Entry points:
 """
 
 from repro.netsim.config import SimConfig
+from repro.netsim.fastcore import FastSimulator
 from repro.netsim.mechanisms import (
     MECHANISMS,
     make_mechanism,
@@ -36,6 +37,7 @@ from repro.netsim.sweep import latency_curve, saturation_throughput
 from repro.netsim.parallel import GridCell, run_saturation_grid
 
 __all__ = [
+    "FastSimulator",
     "GridCell",
     "run_saturation_grid",
     "SimConfig",

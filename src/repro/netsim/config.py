@@ -60,6 +60,11 @@ class SimConfig:
     max_warmup_cycles:
         Hard ceiling on auto-extended warmup; a run still not converged
         here starts measuring anyway (and is reported as such).
+    engine:
+        Simulator core: ``"fast"`` (the default array-native core of
+        :mod:`repro.netsim.fastcore`) or ``"reference"`` (the original
+        object-per-packet implementation, kept for audits).  Both produce
+        byte-identical results; the equivalence suite pins this.
     """
 
     channel_latency: int = 10
@@ -76,8 +81,13 @@ class SimConfig:
     steady_check_windows: int = 4
     steady_rel_tol: float = 0.05
     max_warmup_cycles: int = 8_000
+    engine: str = "fast"
 
     def __post_init__(self):
+        if self.engine not in ("fast", "reference"):
+            raise ConfigurationError(
+                f'engine must be "fast" or "reference", got {self.engine!r}'
+            )
         for name in (
             "channel_latency",
             "vc_buffer",

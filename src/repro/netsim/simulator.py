@@ -27,6 +27,7 @@ Router model (single-flit packets):
 from __future__ import annotations
 
 import heapq
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -177,7 +178,32 @@ class Simulator:
         Bernoulli flit-injection probability per host per cycle.
     config / seed:
         Simulator parameters and the run's random stream.
+
+    ``config.engine`` selects the core: constructing :class:`Simulator`
+    with the default ``engine="fast"`` transparently builds the
+    array-native :class:`~repro.netsim.fastcore.FastSimulator`;
+    ``engine="reference"`` runs this implementation.  Both cores draw the
+    RNG in the same order and produce byte-identical results.
     """
+
+    #: Which core this class implements (manifests record it per run).
+    engine_name = "reference"
+
+    def __new__(
+        cls,
+        topology=None,
+        paths=None,
+        mechanism=None,
+        traffic=None,
+        injection_rate=None,
+        config: SimConfig = SimConfig(),
+        seed: SeedLike = 0,
+    ):
+        if cls is Simulator and getattr(config, "engine", "fast") == "fast":
+            from repro.netsim.fastcore import FastSimulator
+
+            return object.__new__(FastSimulator)
+        return object.__new__(cls)
 
     def __init__(
         self,
@@ -278,9 +304,11 @@ class Simulator:
                 channel_latency=config.channel_latency,
                 n_hosts=topology.n_hosts,
             )
-            # (src_sw, dst_sw) -> {path nodes: index in the pair's PathSet},
-            # built lazily so only traced packets pay the lookup.
-            self._trace_path_idx: Dict[Tuple[int, int], Dict[Tuple[int, ...], int]] = {}
+            # Warm the per-pair {path nodes -> PathSet index} maps now, so
+            # traced packets never rebuild dicts on the launch path (the
+            # maps are memoised on the cache and shared across runs).
+            for s, d in traffic.switch_pairs(topology):
+                paths.path_index_map(s, d)
 
         # Windowed time-series recorder (same fixed-at-construction
         # discipline as the flight recorder).  Cumulative ejection latency
@@ -424,11 +452,7 @@ class Simulator:
             packet = Packet(h, dst, nodes, route, t_create)
             if uid >= 0:
                 packet.trace_id = uid
-                idx_map = self._trace_path_idx.get((sw, dst_sw))
-                if idx_map is None:
-                    ps = self.paths.get(sw, dst_sw)
-                    idx_map = {p.nodes: i for i, p in enumerate(ps)}
-                    self._trace_path_idx[(sw, dst_sw)] = idx_map
+                idx_map = self.paths.path_index_map(sw, dst_sw)
                 tr.set_route(uid, idx_map.get(nodes, -1), nodes, now)
                 tr.event(
                     uid, self._trace_run, obs_trace.EV_VC_ALLOC, now,
@@ -453,9 +477,12 @@ class Simulator:
             if not active:
                 continue
             # Gather head-of-line requests per output port, skipping flits
-            # whose downstream buffer has no credit.
+            # whose downstream buffer has no credit.  Iteration is sorted:
+            # request-gathering order must not depend on set internals, or
+            # grant outcomes (and trace event order) would vary with the
+            # interpreter's hash seed instead of the run seed.
             requests: Dict[int, List[int]] = {}
-            for flat_idx in active:
+            for flat_idx in sorted(active):
                 packet: Packet = self.in_q[flat_idx][0]
                 out_port = packet.route[packet.hop]
                 if out_port < eject_base:
@@ -667,6 +694,7 @@ class Simulator:
         """
         cfg = self.config
         observe = metrics.enabled()
+        t_wall = time.perf_counter()
         # Hide the measurement window until warmup actually ends — with
         # steady-state control its end is not known in advance.
         self._measure_start = 1 << 62
@@ -720,8 +748,13 @@ class Simulator:
             p99 = float(np.percentile(lat, 99))
         else:
             p50 = p99 = float("nan")
-        util = self._link_flits / measured_cycles
+        util = np.asarray(self._link_flits) / measured_cycles
         active = max(1, len(self.active_hosts))
+        # Wall-clock cycle throughput of this run (never part of the
+        # deterministic result; recorded per engine for cross-engine
+        # manifest comparisons).
+        wall = time.perf_counter() - t_wall
+        self.cycles_per_sec = self._end_cycle / wall if wall > 0 else 0.0
         reg = metrics.active()
         if reg is not None:
             self._publish_metrics(reg)
@@ -784,6 +817,14 @@ class Simulator:
         """
         scheme = getattr(self.paths.selector, "name", "unknown")
         reg.counter("netsim.runs").inc()
+        # Engine provenance + wall-clock throughput, keyed by engine name
+        # so cross-engine manifests are distinguishable (compare-runs
+        # refuses to gate timings across different engines).  The gauge
+        # merges by max: it reports the run's peak cycles/sec per engine.
+        reg.counter(f"netsim.engine_runs/{self.engine_name}").inc()
+        cps = getattr(self, "cycles_per_sec", None)
+        if cps:
+            reg.gauge(f"netsim.cycles_per_sec/{self.engine_name}").set(cps)
         reg.counter("netsim.injected").inc(self.injected)
         reg.counter("netsim.delivered").inc(self.delivered)
         reg.counter("netsim.flits_forwarded").inc(self.flits_forwarded)

@@ -16,6 +16,16 @@ What is compared:
   fixed seed, so a drift gate doubles as a reproducibility check);
 - **wall time** — reported, never gated (too noisy across machines).
 
+Simulator runs additionally stamp their engine into the manifest (the
+``netsim.engine_runs/<engine>`` counters and the
+``netsim.cycles_per_sec/<engine>`` gauges).  When the two manifests ran
+*different* engines, their timings measure different implementations, so
+timing regressions are reported but **not gated** and the diff carries an
+explicit cross-engine note — a fast-engine baseline can never silently
+flag the reference engine (or vice versa) as a performance regression.
+Counters still gate as usual: the engines are byte-equivalent, so counter
+drift across engines is a real reproducibility failure, not noise.
+
 Manifests from different schema versions refuse to diff with a clear
 :class:`~repro.errors.ComparisonError` rather than producing a silently
 meaningless comparison.
@@ -32,7 +42,14 @@ from typing import List, Mapping, Optional
 
 from repro.errors import ComparisonError
 
-__all__ = ["Delta", "ManifestDiff", "compare_manifests", "load_manifest", "main"]
+__all__ = [
+    "Delta",
+    "ManifestDiff",
+    "compare_manifests",
+    "engines_of",
+    "load_manifest",
+    "main",
+]
 
 
 @dataclass(frozen=True)
@@ -58,15 +75,17 @@ class ManifestDiff:
 
     deltas: List[Delta] = field(default_factory=list)
     missing: List[str] = field(default_factory=list)  # in base, not in new
+    notes: List[str] = field(default_factory=list)    # e.g. cross-engine
 
     @property
     def regressions(self) -> List[Delta]:
         return [d for d in self.deltas if d.regression]
 
     def render(self) -> str:
-        lines = [
+        lines = [f"NOTE: {note}" for note in self.notes]
+        lines.append(
             f"{'quantity':44s} {'base':>12s} {'new':>12s} {'delta':>8s}"
-        ]
+        )
         for d in self.deltas:
             delta = 100.0 * (d.ratio - 1.0) if d.base > 0 else float("inf")
             flag = "  REGRESSION" if d.regression else ""
@@ -81,6 +100,22 @@ class ManifestDiff:
             f"{n} regression(s)" if n else "no regressions"
         )
         return "\n".join(lines)
+
+
+#: Counter prefix that stamps which simulator engine(s) a run used.
+_ENGINE_PREFIX = "netsim.engine_runs/"
+#: Gauge prefix reporting each engine's peak cycles/second for the run.
+_CPS_PREFIX = "netsim.cycles_per_sec/"
+
+
+def engines_of(manifest: Mapping) -> frozenset:
+    """The simulator engines a manifest's run used (empty if none)."""
+    counters = manifest.get("metrics", {}).get("counters", {})
+    return frozenset(
+        name[len(_ENGINE_PREFIX):]
+        for name, count in counters.items()
+        if name.startswith(_ENGINE_PREFIX) and count
+    )
 
 
 def _check_comparable(base: Mapping, new: Mapping) -> None:
@@ -105,6 +140,20 @@ def compare_manifests(
     _check_comparable(base, new)
     diff = ManifestDiff()
 
+    base_engines = engines_of(base)
+    new_engines = engines_of(new)
+    cross_engine = (
+        bool(base_engines) and bool(new_engines)
+        and base_engines != new_engines
+    )
+    if cross_engine:
+        diff.notes.append(
+            "cross-engine comparison (base: "
+            f"{', '.join(sorted(base_engines))}; new: "
+            f"{', '.join(sorted(new_engines))}) — timings measure "
+            "different simulator cores and are not gated"
+        )
+
     diff.deltas.append(
         Delta(
             "wall", "wall_time_s",
@@ -123,8 +172,28 @@ def compare_manifests(
             diff.missing.append(f"timing:{name}")
             continue
         n = float(new_timings[name].get("total", 0.0))
-        regressed = b >= min_seconds and n > b * (1.0 + timing_threshold)
+        regressed = (
+            not cross_engine
+            and b >= min_seconds
+            and n > b * (1.0 + timing_threshold)
+        )
         diff.deltas.append(Delta("timing", name, b, n, regressed))
+
+    base_gauges = base.get("metrics", {}).get("gauges", {})
+    new_gauges = new.get("metrics", {}).get("gauges", {})
+    for name in sorted(set(base_gauges) | set(new_gauges)):
+        if not name.startswith(_CPS_PREFIX):
+            continue
+        # Engine throughput is provenance, not a gate: report it so a
+        # cross-engine diff shows what each core actually sustained.
+        diff.deltas.append(
+            Delta(
+                "gauge", name,
+                float(base_gauges.get(name, 0.0)),
+                float(new_gauges.get(name, 0.0)),
+                regression=False,
+            )
+        )
 
     base_counters = base.get("metrics", {}).get("counters", {})
     new_counters = new.get("metrics", {}).get("counters", {})

@@ -79,6 +79,7 @@ def build_manifest(
     wall_time_s: float,
     metrics_snapshot: Optional[Mapping] = None,
     steady_state: Optional[Mapping] = None,
+    profile: Optional[str] = None,
 ) -> dict:
     """Assemble the manifest document (plain JSON-able dict).
 
@@ -88,7 +89,9 @@ def build_manifest(
     level.  ``steady_state`` is a
     :func:`repro.obs.timeseries.steady_state_report` document: per-run
     warmup-sufficiency verdicts, recorded whenever the run collected time
-    series.
+    series.  ``profile`` is the path of a cProfile ``.pstats`` dump when
+    the run was profiled (``--profile``), so the manifest records where
+    the raw profile lives.
     """
     import repro
 
@@ -117,6 +120,8 @@ def build_manifest(
     }
     if steady_state is not None:
         doc["steady_state"] = dict(steady_state)
+    if profile is not None:
+        doc["profile"] = str(profile)
     return doc
 
 

@@ -13,6 +13,7 @@ from repro.report.ascii import (
     line_chart,
     link_load_report,
     path_share_table,
+    profile_hotspots_table,
     render_dashboard,
     sparkline,
     stage_timing_table,
@@ -28,6 +29,7 @@ __all__ = [
     "link_load_report",
     "latency_decomposition_table",
     "path_share_table",
+    "profile_hotspots_table",
     "render_dashboard",
     "sparkline",
     "stage_timing_table",

@@ -34,6 +34,7 @@ __all__ = [
     "link_load_report",
     "latency_decomposition_table",
     "path_share_table",
+    "profile_hotspots_table",
     "supports_ansi",
     "term_width",
     "colorize",
@@ -266,6 +267,40 @@ def link_load_report(
         title=title,
     )
     return out + "\n" + "\n".join(hottest_lines)
+
+
+def profile_hotspots_table(
+    stats,
+    *,
+    top: int = 10,
+    title: str = "profile hotspots (cumulative)",
+) -> str:
+    """Render a :class:`pstats.Stats` as a top-``top`` cumulative table.
+
+    One row per function, sorted by cumulative time: calls, total time
+    spent inside the function itself, cumulative time including callees,
+    and ``file:line(name)`` trimmed to the basename — the same view
+    ``print_stats`` gives, but aligned with the other telemetry tables
+    and bounded to the hotspots that matter.
+    """
+    entries = []
+    for (filename, lineno, func), (cc, nc, tt, ct, _callers) in (
+        stats.stats.items()
+    ):
+        entries.append((ct, tt, nc, cc, filename, lineno, func))
+    if not entries:
+        return f"{title}: (no calls recorded)"
+    entries.sort(reverse=True)
+    rows = []
+    for ct, tt, nc, cc, filename, lineno, func in entries[:top]:
+        calls = str(nc) if nc == cc else f"{nc}/{cc}"
+        where = f"{os.path.basename(filename)}:{lineno}({func})"
+        rows.append([where, calls, round(tt, 3), round(ct, 3)])
+    return format_table(
+        ["function", "calls", "tottime (s)", "cumtime (s)"],
+        rows,
+        title=title,
+    )
 
 
 def latency_decomposition_table(

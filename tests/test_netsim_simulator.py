@@ -160,18 +160,30 @@ class TestSimulatorMechanics:
         assert r.measured_delivered > 0
 
     def test_buffers_never_overflow(self, topo, paths):
-        cfg = SimConfig(warmup_cycles=100, sample_cycles=100, n_samples=3, vc_buffer=4)
+        # Pokes reference-engine internals (per-buffer deques); the fast
+        # engine's ring buffers get their own edge tests in
+        # tests/test_simcore_equivalence.py.
+        cfg = SimConfig(
+            warmup_cycles=100, sample_cycles=100, n_samples=3, vc_buffer=4,
+            engine="reference",
+        )
         sim = Simulator(
             topo, paths, "random", UniformTraffic(topo.n_hosts), 0.9, cfg, seed=1
         )
         sim.run()
+        assert sim.engine_name == "reference"
         for idx, q in enumerate(sim.in_q):
             assert len(q) <= cfg.vc_buffer
             assert 0 <= sim.free[idx] <= cfg.vc_buffer
 
     def test_occupancy_returns_to_in_flight_counts(self, topo, paths):
+        # Reads reference-engine packet objects (in_q entries, _arrivals).
+        cfg = SimConfig(
+            warmup_cycles=100, sample_cycles=100, n_samples=3,
+            engine="reference",
+        )
         sim = Simulator(
-            topo, paths, "random", UniformTraffic(topo.n_hosts), 0.1, FAST, seed=1
+            topo, paths, "random", UniformTraffic(topo.n_hosts), 0.1, cfg, seed=1
         )
         sim.run()
         # occupancy must equal queued-plus-flying switch-link packets.

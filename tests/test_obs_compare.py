@@ -11,7 +11,7 @@ import pytest
 
 from repro.errors import ComparisonError
 from repro.experiments.runner import main as runner_main
-from repro.obs.compare import compare_manifests, load_manifest
+from repro.obs.compare import compare_manifests, engines_of, load_manifest
 from repro.obs.manifest import (
     MANIFEST_FORMAT,
     MANIFEST_SCHEMA_VERSION,
@@ -143,3 +143,72 @@ def test_cli_exit_two_on_schema_mismatch(tmp_path, capsys):
     b = _write(tmp_path, "b.json", other)
     assert runner_main(["compare-runs", a, b]) == 2
     assert "not comparable" in capsys.readouterr().err
+
+
+# ------------------------------------------------------- engine provenance
+
+def _engine_manifest(engine, stage_total=1.0, counters=None, cps=1.0e5):
+    snap = {
+        "timers": {"experiment.fig9": {"count": 1, "total": stage_total}},
+        "counters": dict(
+            counters or {"netsim.flits_forwarded": 1000},
+            **{f"netsim.engine_runs/{engine}": 3},
+        ),
+        "gauges": {f"netsim.cycles_per_sec/{engine}": cps},
+    }
+    return build_manifest(
+        experiment="fig9", scale="small", seed=0,
+        wall_time_s=2.0, metrics_snapshot=snap,
+    )
+
+
+def test_engines_of_reads_engine_run_counters():
+    assert engines_of(_engine_manifest("fast")) == {"fast"}
+    assert engines_of(_engine_manifest("reference")) == {"reference"}
+    # Pre-engine manifests (and non-simulator runs) have no engine stamp.
+    assert engines_of(_manifest()) == frozenset()
+    # A zero count means the engine never actually ran.
+    zero = _manifest(counters={"netsim.engine_runs/fast": 0})
+    assert engines_of(zero) == frozenset()
+
+
+def test_cross_engine_timings_reported_but_not_gated():
+    base = _engine_manifest("reference", stage_total=1.0)
+    new = _engine_manifest("fast", stage_total=5.0)
+    diff = compare_manifests(base, new, timing_threshold=0.25)
+    # A 5x "slowdown" across different cores is not a regression…
+    assert diff.regressions == []
+    # …and the diff says why, loudly.
+    assert any("cross-engine" in note for note in diff.notes)
+    rendered = diff.render()
+    assert rendered.startswith("NOTE: cross-engine comparison")
+    assert "reference" in rendered and "fast" in rendered
+
+
+def test_same_engine_timings_still_gate():
+    base = _engine_manifest("fast", stage_total=1.0)
+    new = _engine_manifest("fast", stage_total=5.0)
+    diff = compare_manifests(base, new, timing_threshold=0.25)
+    assert diff.notes == []
+    assert any(d.kind == "timing" for d in diff.regressions)
+
+
+def test_cross_engine_counter_drift_still_gates():
+    # The engines are byte-equivalent, so counter drift across engines is
+    # a reproducibility failure — the cross-engine waiver is timing-only.
+    base = _engine_manifest(
+        "reference", counters={"netsim.flits_forwarded": 1000}
+    )
+    new = _engine_manifest("fast", counters={"netsim.flits_forwarded": 1500})
+    diff = compare_manifests(base, new, metric_threshold=0.1)
+    names = {d.name for d in diff.regressions}
+    assert "netsim.flits_forwarded" in names
+
+
+def test_cycles_per_sec_gauges_reported_never_gated():
+    base = _engine_manifest("fast", cps=2.0e5)
+    new = _engine_manifest("fast", cps=0.5e5)  # 4x throughput drop
+    diff = compare_manifests(base, new)
+    gauges = [d for d in diff.deltas if d.kind == "gauge"]
+    assert [g.name for g in gauges] == ["netsim.cycles_per_sec/fast"]
+    assert not any(g.regression for g in gauges)

@@ -4,8 +4,9 @@ The pipeline's contract is that per-worker metric snapshots merge into
 the parent registry to the *identical* totals a serial run records —
 whatever the worker count, shard boundaries, or completion order.  These
 tests run the same workload serially and through a 2-process pool and
-compare full snapshots section by section (timers excluded: wall times
-can never match across runs; everything else must be exact).
+compare full snapshots section by section (timers and the
+``netsim.cycles_per_sec/*`` throughput gauges excluded: wall-clock
+quantities can never match across runs; everything else must be exact).
 """
 
 import pytest
@@ -27,9 +28,14 @@ def _metrics_disabled():
 
 
 def _comparable(snap: dict) -> dict:
-    return {
+    doc = {
         k: snap[k] for k in ("counters", "gauges", "histograms", "arrays")
     }
+    doc["gauges"] = {
+        k: v for k, v in doc["gauges"].items()
+        if not k.startswith("netsim.cycles_per_sec/")
+    }
+    return doc
 
 
 def test_precompute_parallel_merges_serial_telemetry_totals():

@@ -174,3 +174,41 @@ def test_git_commit_cached_per_process(monkeypatch):
         assert calls["n"] == 1  # the subprocess forked exactly once
     finally:
         obs_manifest._git_commit.cache_clear()
+
+
+def test_profile_flag_requires_telemetry_dir(capsys):
+    with pytest.raises(SystemExit):
+        main(["table1", "--scale", "small", "--profile"])
+    assert "--profile requires --telemetry-dir" in capsys.readouterr().err
+
+
+def test_profile_writes_pstats_next_to_manifest(tmp_path, capsys):
+    import pstats
+
+    out_dir = tmp_path / "tel"
+    assert main([
+        "table1", "--scale", "small",
+        "--telemetry-dir", str(out_dir), "--profile",
+    ]) == 0
+
+    dump = out_dir / "table1-small.profile.pstats"
+    assert dump.exists()
+    stats = pstats.Stats(str(dump))  # the dump is a loadable pstats file
+    assert stats.total_calls > 0
+
+    manifest = json.loads((out_dir / "table1-small.manifest.json").read_text())
+    assert manifest["profile"] == str(dump)
+    assert manifest["config"]["profile"] is True
+
+    out = capsys.readouterr().out
+    assert "profile hotspots" in out
+    assert "# profile:" in out
+
+
+def test_unprofiled_manifest_has_no_profile_key(tmp_path):
+    out_dir = tmp_path / "tel"
+    assert main([
+        "table1", "--scale", "small", "--telemetry-dir", str(out_dir),
+    ]) == 0
+    manifest = json.loads((out_dir / "table1-small.manifest.json").read_text())
+    assert "profile" not in manifest

@@ -273,3 +273,36 @@ class TestRenderDashboard:
 
         lines = render_dashboard({}, width=80)
         assert lines and "0/0 tasks" in lines[0]
+
+
+class TestProfileHotspots:
+    def _stats(self):
+        import cProfile
+        import pstats
+
+        def _work():
+            return sum(i * i for i in range(2000))
+
+        pr = cProfile.Profile()
+        pr.enable()
+        _work()
+        pr.disable()
+        return pstats.Stats(pr)
+
+    def test_table_shape_and_content(self):
+        from repro.report import profile_hotspots_table
+
+        out = profile_hotspots_table(self._stats(), top=5)
+        assert "profile hotspots" in out
+        header = out.splitlines()[1]
+        for col in ("function", "calls", "tottime (s)", "cumtime (s)"):
+            assert col in header
+        # The generator the workload spent its time in shows up.
+        assert "genexpr" in out
+
+    def test_top_bounds_row_count(self):
+        from repro.report import profile_hotspots_table
+
+        out = profile_hotspots_table(self._stats(), top=2)
+        # title + header + separator + at most 2 data rows
+        assert len(out.splitlines()) <= 5
