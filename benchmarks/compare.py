@@ -30,14 +30,60 @@ from pathlib import Path
 
 #: Substrings of benchmark names that are gated (hot-path primitives whose
 #: regressions the fast path-table pipeline exists to prevent, plus the
-#: simulator cycle loop the telemetry layer must not slow down).
-GATED = ("yen", "bfs", "precompute", "simulator")
+#: simulator cycle loop the telemetry layer must not slow down and the
+#: batched saturation-grid tier).
+GATED = ("yen", "bfs", "precompute", "simulator", "grid")
 
 
 def load_means(path: Path) -> dict:
     with open(path) as fh:
         doc = json.load(fh)
     return {b["name"]: float(b["stats"]["mean"]) for b in doc["benchmarks"]}
+
+
+def slim_export(src: Path, dst: Path) -> None:
+    """Strip raw per-round samples from a pytest-benchmark export.
+
+    Large exports (tens of thousands of ``stats.data`` samples) bloat
+    committed baselines; everything ``load_means`` and the comparison
+    table read is the summary statistics, which are kept verbatim.  The
+    slimmed file stays loadable by older ``compare.py`` revisions.
+    """
+    with open(src) as fh:
+        doc = json.load(fh)
+    for bench in doc.get("benchmarks", ()):
+        stats = bench.get("stats")
+        if isinstance(stats, dict):
+            stats.pop("data", None)
+    with open(dst, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+
+
+def require_speedup(path: Path, base_name: str, new_name: str,
+                    ratio: float) -> int:
+    """Exit non-zero unless mean(base_name) / mean(new_name) >= ratio.
+
+    Both rows come from the *same* export — this gates a speedup between
+    two benchmarks of one run (e.g. the per-cell vs batched saturation
+    grid), not a cross-run regression.
+    """
+    means = load_means(path)
+    missing = [n for n in (base_name, new_name) if n not in means]
+    if missing:
+        print(f"benchmark row(s) not in {path}: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    achieved = means[base_name] / means[new_name]
+    print(
+        f"{base_name}: {means[base_name] * 1e3:.2f} ms\n"
+        f"{new_name}: {means[new_name] * 1e3:.2f} ms\n"
+        f"speedup: {achieved:.2f}x (required >= {ratio:.2f}x)"
+    )
+    if achieved < ratio:
+        print(f"speedup below required {ratio:.2f}x", file=sys.stderr)
+        return 1
+    return 0
 
 
 def default_baseline(new: Path) -> Path | None:
@@ -99,7 +145,27 @@ def main(argv=None) -> int:
         "--threshold", type=float, default=0.25,
         help="max allowed slowdown fraction on gated benchmarks (default 0.25)",
     )
+    parser.add_argument(
+        "--slim", type=Path, metavar="OUT", default=None,
+        help="write a slimmed copy of NEW (summary stats only, raw "
+             "samples stripped) to OUT and exit",
+    )
+    parser.add_argument(
+        "--require-speedup", nargs=3, metavar=("BASE", "NEWROW", "RATIO"),
+        default=None,
+        help="gate mean(BASE)/mean(NEWROW) >= RATIO within NEW's rows "
+             "(exit 1 below RATIO) and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.slim is not None:
+        slim_export(args.new, args.slim)
+        print(f"slimmed {args.new} -> {args.slim}")
+        return 0
+
+    if args.require_speedup is not None:
+        base_name, new_name, ratio = args.require_speedup
+        return require_speedup(args.new, base_name, new_name, float(ratio))
 
     if _is_manifest(args.new):
         if args.baseline is None:

@@ -11,12 +11,13 @@ import pytest
 from repro import Jellyfish, PathCache
 from repro.appsim.fairshare import maxmin_rates
 from repro.core.yen import k_shortest_paths
-from repro.netsim import SimConfig, Simulator, UniformTraffic
+from repro.netsim import SimConfig, Simulator, UniformTraffic, run_saturation_grid
 from repro.obs import metrics
 from repro.obs import timeseries
 from repro.obs import trace
 from repro.topology.metrics import average_shortest_path_length
 from repro.topology.rrg import random_regular_graph
+from repro.traffic import random_permutation
 
 
 @pytest.fixture(scope="module")
@@ -135,6 +136,65 @@ def test_perf_simulator_cycles_reference(benchmark):
 
     r = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
     assert r.delivered > 0
+
+
+@pytest.fixture(scope="module")
+def grid_workload():
+    """Shared saturation-grid workload for the engine-tier comparison.
+
+    A mid-size topology with long average paths: enough vectorizable
+    router work per cycle for the batched tier to amortise its per-cycle
+    fixed costs, at a load below the congestion knee.  The batched win
+    grows with topology size (more lanes' worth of numpy work per
+    interpreter pass), so this size keeps the CI gate's 2x well clear
+    of single-box timing noise.
+    """
+    topo = Jellyfish(128, 10, 6, seed=7)
+    pats = [random_permutation(topo.n_hosts, seed=s) for s in range(4)]
+    return topo, pats
+
+
+def _run_grid(topo, pats, batch_lanes):
+    cfg = SimConfig(
+        warmup_cycles=200, sample_cycles=200, n_samples=2,
+        batch_lanes=batch_lanes,
+    )
+    return run_saturation_grid(
+        topo, ["redksp"], ["ksp_adaptive", "ksp_ugal"], pats,
+        k=4, rates=(0.3,), config=cfg, seed=0, processes=1,
+    )
+
+
+@pytest.mark.obs
+def test_perf_grid_percell(benchmark, grid_workload):
+    """Warm saturation grid on the per-cell fast engine (batch_lanes=1).
+
+    The baseline row of the batched-tier speedup: ``compare.py
+    --require-speedup`` divides this row's mean by the batched row's and
+    the CI perf-smoke job fails below 2x.
+    """
+    topo, pats = grid_workload
+    grid = benchmark.pedantic(
+        lambda: _run_grid(topo, pats, 1),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    assert all(0.0 <= v <= 1.0 for v in grid.values())
+
+
+@pytest.mark.obs
+def test_perf_grid_batched(benchmark, grid_workload):
+    """The same warm grid on the batched multi-lane engine (8 lanes).
+
+    Produces byte-identical grid results to the per-cell row (pinned by
+    ``tests/test_batchcore_equivalence.py``); only the wall clock may
+    differ.
+    """
+    topo, pats = grid_workload
+    grid = benchmark.pedantic(
+        lambda: _run_grid(topo, pats, 8),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    assert all(0.0 <= v <= 1.0 for v in grid.values())
 
 
 def test_perf_path_index_map(benchmark):

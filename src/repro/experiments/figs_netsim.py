@@ -8,18 +8,125 @@ saturation throughput over several pattern instances.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict
+from contextlib import ExitStack
+from typing import Dict, List
 
 import numpy as np
 
 from repro.core import PathCache
+from repro.errors import ConfigurationError
 from repro.experiments.base import ExperimentResult
 from repro.experiments.presets import netsim_preset
 from repro.netsim import PatternTraffic, saturation_throughput
+from repro.netsim.batchcore import (
+    BATCHABLE_MECHANISMS,
+    BatchLane,
+    BatchSimulator,
+)
 from repro.obs import log, metrics, topology_hash
+from repro.obs import timeseries as obs_timeseries
+from repro.obs import trace as obs_trace
 from repro.topology import Jellyfish
 from repro.traffic import random_permutation, random_shift
 from repro.utils.rng import SeedLike, spawn_rngs
+
+
+def _cell_throughputs(
+    topo: Jellyfish,
+    cache: PathCache,
+    mechanism: str,
+    patterns,
+    rates,
+    config,
+    cell_seeds,
+) -> List[float]:
+    """Per-pattern saturation throughput of one (scheme, mechanism) cell.
+
+    With ``config.batch_lanes > 1`` the cell's patterns climb the rate
+    ladder in lock-step through the batched engine: at each rate the
+    patterns still below saturation run as lanes of one
+    :class:`~repro.netsim.batchcore.BatchSimulator`, drawing exactly one
+    ladder seed per executed rung as the serial sweep does, and each
+    pattern's telemetry is captured per lane and replayed in serial
+    (pattern-major, rate-minor) order afterwards — so throughputs and
+    run artifacts are byte-identical to the per-pattern serial sweeps.
+    Mechanisms the batched engine cannot take (vanilla UGAL), and every
+    cell while the flight recorder is on, fall back to the serial path.
+    """
+    batched = (
+        config.batch_lanes > 1
+        and mechanism in BATCHABLE_MECHANISMS
+        and not obs_trace.enabled()
+    )
+    if not batched:
+        return [
+            saturation_throughput(
+                topo, cache, mechanism, PatternTraffic(pat),
+                rates=rates, config=config, seed=cell_seed,
+            )[0]
+            for pat, cell_seed in zip(patterns, cell_seeds)
+        ]
+
+    obs_on = metrics.enabled()
+    ts_cfg = obs_timeseries.config()
+    # One ladder rng per pattern, seeded exactly as the serial sweep's
+    # ``ensure_rng(cell_seed)``; one run seed drawn per executed rung.
+    ladders = [np.random.default_rng(s) for s in cell_seeds]
+    traffics = [PatternTraffic(pat) for pat in patterns]
+    n = len(traffics)
+    m_snaps: List[list] = [[] for _ in range(n)]
+    ts_snaps: List[list] = [[] for _ in range(n)]
+    throughput = [0.0] * n
+    done = [False] * n
+
+    for rate in rates:
+        todo = [i for i in range(n) if not done[i]]
+        if not todo:
+            break
+        for s in range(0, len(todo), config.batch_lanes):
+            pack = todo[s : s + config.batch_lanes]
+            lanes = [
+                BatchLane(
+                    mechanism, traffics[i], float(rate),
+                    seed=np.random.default_rng(
+                        int(ladders[i].integers(2**63))
+                    ),
+                )
+                for i in pack
+            ]
+            batch = BatchSimulator(topo, cache, lanes, config)
+            results = batch.run(publish=False, observe=obs_on)
+            for j, i in enumerate(pack):
+                if obs_on or ts_cfg:
+                    with ExitStack() as stack:
+                        reg = (
+                            stack.enter_context(metrics.capture())
+                            if obs_on else None
+                        )
+                        tsr = (
+                            stack.enter_context(
+                                obs_timeseries.capture(**ts_cfg)
+                            )
+                            if ts_cfg else None
+                        )
+                        batch.publish_lane(j)
+                        if reg is not None:
+                            m_snaps[i].append(reg.snapshot())
+                        if tsr is not None:
+                            ts_snaps[i].append(tsr.snapshot())
+                if results[j].saturated:
+                    done[i] = True
+                else:
+                    throughput[i] = float(rate)
+
+    # Replay artifacts in the serial sweep's order: pattern-major, each
+    # pattern's rungs in ascending-rate order.
+    for i in range(n):
+        for snap in m_snaps[i]:
+            metrics.merge_snapshot(snap)
+        for snap in ts_snaps[i]:
+            obs_timeseries.merge_snapshot(snap)
+    return throughput
 
 
 def run_fig(
@@ -27,18 +134,28 @@ def run_fig(
     scale: str = "small",
     seed: SeedLike = 0,
     steady_state: bool = False,
+    batch_lanes: int = 1,
 ) -> ExperimentResult:
     """One saturation-throughput figure (7-10).
 
     ``steady_state=True`` switches every cell's simulator to
     convergence-driven run control (auto-extended warmup, early
     measurement stop) instead of the preset's fixed cycle budget.
+    ``batch_lanes=N`` runs each cell's patterns as lock-step lanes of
+    the batched engine (results byte-identical either way).
     """
+    if batch_lanes > 1 and steady_state:
+        raise ConfigurationError(
+            "steady_state figures cannot batch lanes: the batched engine "
+            "is fixed-budget only. Use batch_lanes=1 with --steady-state."
+        )
     preset = netsim_preset(scale, figure)
-    if steady_state:
+    if steady_state or batch_lanes > 1:
         preset = dict(preset)
         preset["config"] = dataclasses.replace(
-            preset["config"], steady_state=True
+            preset["config"],
+            steady_state=steady_state,
+            batch_lanes=batch_lanes,
         )
     spec = preset["topo"]
     shift_traffic = figure in (9, 10)
@@ -65,19 +182,18 @@ def run_fig(
         per_mech = {}
         with metrics.span(f"stage.sweep.{scheme}"):
             for mi, mech in enumerate(preset["mechanisms"]):
-                values = []
-                for i, pat in enumerate(patterns):
-                    # Deterministic per-cell stream: str hashes are salted
-                    # per process, so derive from indices instead.
-                    cell_seed = np.random.SeedSequence(
+                # Deterministic per-cell streams: str hashes are salted
+                # per process, so derive from indices instead.
+                cell_seeds = [
+                    np.random.SeedSequence(
                         entropy=figure, spawn_key=(si, mi, i)
                     )
-                    th, _ = saturation_throughput(
-                        topo, cache, mech, PatternTraffic(pat),
-                        rates=preset["rates"], config=preset["config"],
-                        seed=cell_seed,
-                    )
-                    values.append(th)
+                    for i in range(len(patterns))
+                ]
+                values = _cell_throughputs(
+                    topo, cache, mech, patterns,
+                    preset["rates"], preset["config"], cell_seeds,
+                )
                 per_mech[mech] = float(np.mean(values))
                 log.info(
                     "sweep_cell_done", figure=figure, scheme=scheme,
@@ -100,28 +216,48 @@ def run_fig(
 
 
 def run_fig7(
-    scale: str = "small", seed: SeedLike = 0, steady_state: bool = False
+    scale: str = "small",
+    seed: SeedLike = 0,
+    steady_state: bool = False,
+    batch_lanes: int = 1,
 ) -> ExperimentResult:
     """Figure 7: permutations on the small topology."""
-    return run_fig(7, scale, seed, steady_state=steady_state)
+    return run_fig(
+        7, scale, seed, steady_state=steady_state, batch_lanes=batch_lanes
+    )
 
 
 def run_fig8(
-    scale: str = "small", seed: SeedLike = 0, steady_state: bool = False
+    scale: str = "small",
+    seed: SeedLike = 0,
+    steady_state: bool = False,
+    batch_lanes: int = 1,
 ) -> ExperimentResult:
     """Figure 8: permutations on the medium topology."""
-    return run_fig(8, scale, seed, steady_state=steady_state)
+    return run_fig(
+        8, scale, seed, steady_state=steady_state, batch_lanes=batch_lanes
+    )
 
 
 def run_fig9(
-    scale: str = "small", seed: SeedLike = 0, steady_state: bool = False
+    scale: str = "small",
+    seed: SeedLike = 0,
+    steady_state: bool = False,
+    batch_lanes: int = 1,
 ) -> ExperimentResult:
     """Figure 9: shifts on the small topology."""
-    return run_fig(9, scale, seed, steady_state=steady_state)
+    return run_fig(
+        9, scale, seed, steady_state=steady_state, batch_lanes=batch_lanes
+    )
 
 
 def run_fig10(
-    scale: str = "small", seed: SeedLike = 0, steady_state: bool = False
+    scale: str = "small",
+    seed: SeedLike = 0,
+    steady_state: bool = False,
+    batch_lanes: int = 1,
 ) -> ExperimentResult:
     """Figure 10: shifts on the medium topology."""
-    return run_fig(10, scale, seed, steady_state=steady_state)
+    return run_fig(
+        10, scale, seed, steady_state=steady_state, batch_lanes=batch_lanes
+    )

@@ -72,14 +72,17 @@ def run_experiment(
     processes: int = 1,
     path_store=None,
     steady_state: bool = False,
+    batch_lanes: int = 1,
 ) -> ExperimentResult:
     """Run one experiment by id (``"table1"`` ... ``"fig13"``).
 
     ``processes`` and ``path_store`` feed the fast path-table pipeline
     (parallel precompute + persistent tables); ``steady_state`` switches
-    cycle-level drivers to convergence-driven run control.  Each keyword
-    is forwarded only to drivers that accept it; for the first two,
-    results are identical either way.
+    cycle-level drivers to convergence-driven run control;
+    ``batch_lanes`` packs independent simulator runs into the batched
+    multi-lane engine.  Each keyword is forwarded only to drivers that
+    accept it; for all but ``steady_state``, results are identical
+    either way.
     """
     try:
         driver = EXPERIMENTS[name]
@@ -87,6 +90,10 @@ def run_experiment(
         raise ConfigurationError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
+    if batch_lanes < 1:
+        raise ConfigurationError(
+            f"batch_lanes must be >= 1, got {batch_lanes}"
+        )
     kwargs = {"scale": scale, "seed": seed}
     accepted = inspect.signature(driver).parameters
     if "processes" in accepted:
@@ -95,6 +102,8 @@ def run_experiment(
         kwargs["path_store"] = path_store
     if "steady_state" in accepted:
         kwargs["steady_state"] = steady_state
+    if "batch_lanes" in accepted:
+        kwargs["batch_lanes"] = batch_lanes
     return driver(**kwargs)
 
 
@@ -175,6 +184,15 @@ def main(argv=None) -> int:
         "hotspots (requires --telemetry-dir)",
     )
     parser.add_argument(
+        "--batch-lanes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="pack up to N independent simulator runs per saturation cell "
+        "into the batched multi-lane engine (results byte-identical to "
+        "N=1; incompatible with --steady-state; default: 1)",
+    )
+    parser.add_argument(
         "--steady-state",
         action="store_true",
         help="convergence-driven run control for cycle-level experiments: "
@@ -211,6 +229,13 @@ def main(argv=None) -> int:
             parser.error("--timeseries-window requires --telemetry-dir")
     if args.profile and telemetry_dir is None:
         parser.error("--profile requires --telemetry-dir")
+    if args.batch_lanes < 1:
+        parser.error("--batch-lanes must be >= 1")
+    if args.batch_lanes > 1 and args.steady_state:
+        parser.error(
+            "--batch-lanes > 1 is incompatible with --steady-state: the "
+            "batched engine is fixed-budget only"
+        )
 
     store = None
     if args.path_store is not None:
@@ -256,6 +281,7 @@ def main(argv=None) -> int:
                         name, scale=args.scale, seed=args.seed,
                         processes=args.processes, path_store=store,
                         steady_state=args.steady_state,
+                        batch_lanes=args.batch_lanes,
                     )
             finally:
                 if profiler is not None:
@@ -309,6 +335,7 @@ def _emit_telemetry(
             "trace_sample": args.trace_sample,
             "timeseries_window": args.timeseries_window,
             "steady_state": args.steady_state,
+            "batch_lanes": args.batch_lanes,
             "profile": args.profile,
         },
         wall_time_s=wall,

@@ -15,6 +15,12 @@ Entry points:
   vanilla-UGAL / KSP-UGAL / KSP-adaptive.
 """
 
+from repro.netsim.batchcore import (
+    BATCHABLE_MECHANISMS,
+    BatchLane,
+    BatchSimulator,
+    lane_vc_count,
+)
 from repro.netsim.config import SimConfig
 from repro.netsim.fastcore import FastSimulator
 from repro.netsim.mechanisms import (
@@ -37,6 +43,10 @@ from repro.netsim.sweep import latency_curve, saturation_throughput
 from repro.netsim.parallel import GridCell, run_saturation_grid
 
 __all__ = [
+    "BATCHABLE_MECHANISMS",
+    "BatchLane",
+    "BatchSimulator",
+    "lane_vc_count",
     "FastSimulator",
     "GridCell",
     "run_saturation_grid",

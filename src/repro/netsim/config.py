@@ -65,6 +65,13 @@ class SimConfig:
         :mod:`repro.netsim.fastcore`) or ``"reference"`` (the original
         object-per-packet implementation, kept for audits).  Both produce
         byte-identical results; the equivalence suite pins this.
+    batch_lanes:
+        Maximum independent runs stepped in lock-step by the batched
+        engine (:mod:`repro.netsim.batchcore`) when a grid packs cells
+        into lanes.  ``1`` (the default) keeps every run on the plain
+        per-run engine.  Lanes require the array-native core underneath,
+        so ``batch_lanes > 1`` with ``engine="reference"`` is a
+        configuration error rather than a silent per-cell fallback.
     """
 
     channel_latency: int = 10
@@ -82,11 +89,23 @@ class SimConfig:
     steady_rel_tol: float = 0.05
     max_warmup_cycles: int = 8_000
     engine: str = "fast"
+    batch_lanes: int = 1
 
     def __post_init__(self):
         if self.engine not in ("fast", "reference"):
             raise ConfigurationError(
                 f'engine must be "fast" or "reference", got {self.engine!r}'
+            )
+        if self.batch_lanes < 1:
+            raise ConfigurationError(
+                f"batch_lanes must be >= 1, got {self.batch_lanes}"
+            )
+        if self.batch_lanes > 1 and self.engine == "reference":
+            raise ConfigurationError(
+                'engine="reference" cannot step batched lanes: the batched '
+                "engine is built on the array-native fast core. Use "
+                'engine="fast" with batch_lanes, or batch_lanes=1 to run '
+                "the reference core per cell."
             )
         for name in (
             "channel_latency",

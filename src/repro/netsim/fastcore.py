@@ -45,9 +45,110 @@ from repro.obs import trace as obs_trace
 from repro.topology.jellyfish import Jellyfish
 from repro.utils.rng import SeedLike
 
-__all__ = ["FastSimulator"]
+__all__ = ["FastSimulator", "draw_batch"]
 
 Nodes = Tuple[int, ...]
+
+
+def draw_batch(rng: np.random.Generator, bounds: List[int]) -> List[int]:
+    """Exact replay of ``[int(rng.integers(r)) for r in bounds]``.
+
+    numpy's ``Generator.integers`` with a bound below 2**32 samples by
+    Lemire rejection on a 32-bit chunk stream: each 64-bit PCG word is
+    split low half first, and an unused half persists across calls in
+    the generator's ``has_uint32``/``uinteger`` buffer.  Replaying
+    that algorithm over one ``random_raw`` batch produces the same
+    values and leaves the generator in the same state (buffer
+    included) at a third of the per-draw cost; the cross-engine
+    equivalence suites (serial and batched) pin both.  Bounds of 1 draw
+    nothing, exactly like the scalar call.
+    """
+    bg = rng.bit_generator
+    st = bg.state
+    has = 1 if st["has_uint32"] else 0
+    b = np.array(bounds, dtype=np.uint64)
+    draw_mask = b > np.uint64(1)
+    need_total = int(draw_mask.sum())
+    if need_total == 0:
+        return [0] * len(bounds)
+    need = need_total - has
+    if need <= 0:
+        # A single draw served from the buffered half-word: the
+        # vectorized path has nothing to fetch, replay it scalar.
+        return _draw_batch_slow(rng, bounds, [st["uinteger"]], False)
+    words = bg.random_raw((need + 1) // 2)
+    chunks = np.empty(has + 2 * len(words), dtype=np.uint64)
+    if has:
+        chunks[0] = st["uinteger"]
+    chunks[has::2] = words & np.uint64(0xFFFFFFFF)
+    chunks[has + 1 :: 2] = words >> np.uint64(32)
+    rs = b[draw_mask] if need_total != len(bounds) else b
+    m = chunks[:need_total] * rs
+    t = (np.uint64(4294967296) - rs) % rs
+    if ((m & np.uint64(0xFFFFFFFF)) < t).any():
+        # A Lemire rejection (probability ~r/2**32 per draw): replay
+        # the whole batch scalar over the already-fetched chunks.
+        return _draw_batch_slow(rng, bounds, chunks.tolist(), True)
+    st = bg.state  # re-read: random_raw advanced the counter
+    st["has_uint32"] = 1 if need_total < len(chunks) else 0
+    # numpy leaves the last buffered half in ``uinteger`` even after
+    # consuming it; mirror that so states stay bit-equal.
+    st["uinteger"] = int(chunks[-1])
+    bg.state = st
+    drawn = (m >> np.uint64(32)).tolist()
+    if need_total == len(bounds):
+        return drawn
+    vals = [0] * len(bounds)
+    vi = 0
+    for i, r in enumerate(bounds):
+        if r > 1:
+            vals[i] = drawn[vi]
+            vi += 1
+    return vals
+
+
+def _draw_batch_slow(
+    rng: np.random.Generator, bounds: List[int], chunks: List[int],
+    fetched: bool,
+) -> List[int]:
+    """Scalar Lemire replay over ``chunks`` (already fetched words).
+
+    The exact algorithm ``Generator.integers`` runs, draw by draw;
+    the vectorized :func:`draw_batch` delegates here when a rejection
+    fires or the whole batch fits in the buffered half-word.
+    """
+    bg = rng.bit_generator
+    vals = []
+    append = vals.append
+    n_chunks = len(chunks)
+    ci = 0
+    for r in bounds:
+        if r <= 1:
+            append(0)
+            continue
+        t = (4294967296 - r) % r
+        while True:
+            if ci == n_chunks:
+                # A Lemire rejection overran the batch (probability
+                # ~r/2**32 per draw) — extend one word at a time.
+                fetched = True
+                w = int(bg.random_raw())
+                chunks.append(w & 0xFFFFFFFF)
+                chunks.append(w >> 32)
+                n_chunks += 2
+            m = chunks[ci] * r
+            ci += 1
+            if (m & 0xFFFFFFFF) >= t:
+                append(m >> 32)
+                break
+    st = bg.state
+    st["has_uint32"] = 1 if ci < n_chunks else 0
+    if fetched:
+        # numpy leaves the last buffered half in ``uinteger`` even
+        # after consuming it; mirror that so states stay bit-equal.
+        st["uinteger"] = chunks[-1]
+    bg.state = st
+    return vals
 
 
 class _FlatTables:
@@ -427,102 +528,8 @@ class FastSimulator(Simulator):
         self._n_sourced += self.injected - before
 
     def _draw_batch(self, bounds: List[int]) -> List[int]:
-        """Exact replay of ``[int(rng.integers(r)) for r in bounds]``.
-
-        numpy's ``Generator.integers`` with a bound below 2**32 samples by
-        Lemire rejection on a 32-bit chunk stream: each 64-bit PCG word is
-        split low half first, and an unused half persists across calls in
-        the generator's ``has_uint32``/``uinteger`` buffer.  Replaying
-        that algorithm over one ``random_raw`` batch produces the same
-        values and leaves the generator in the same state (buffer
-        included) at a third of the per-draw cost; the cross-engine
-        equivalence suite pins both.  Bounds of 1 draw nothing, exactly
-        like the scalar call.
-        """
-        bg = self.rng.bit_generator
-        st = bg.state
-        has = 1 if st["has_uint32"] else 0
-        b = np.array(bounds, dtype=np.uint64)
-        draw_mask = b > np.uint64(1)
-        need_total = int(draw_mask.sum())
-        if need_total == 0:
-            return [0] * len(bounds)
-        need = need_total - has
-        if need <= 0:
-            # A single draw served from the buffered half-word: the
-            # vectorized path has nothing to fetch, replay it scalar.
-            return self._draw_batch_slow(bounds, [st["uinteger"]], False)
-        words = bg.random_raw((need + 1) // 2)
-        chunks = np.empty(has + 2 * len(words), dtype=np.uint64)
-        if has:
-            chunks[0] = st["uinteger"]
-        chunks[has::2] = words & np.uint64(0xFFFFFFFF)
-        chunks[has + 1 :: 2] = words >> np.uint64(32)
-        rs = b[draw_mask] if need_total != len(bounds) else b
-        m = chunks[:need_total] * rs
-        t = (np.uint64(4294967296) - rs) % rs
-        if ((m & np.uint64(0xFFFFFFFF)) < t).any():
-            # A Lemire rejection (probability ~r/2**32 per draw): replay
-            # the whole batch scalar over the already-fetched chunks.
-            return self._draw_batch_slow(bounds, chunks.tolist(), True)
-        st = bg.state  # re-read: random_raw advanced the counter
-        st["has_uint32"] = 1 if need_total < len(chunks) else 0
-        # numpy leaves the last buffered half in ``uinteger`` even after
-        # consuming it; mirror that so states stay bit-equal.
-        st["uinteger"] = int(chunks[-1])
-        bg.state = st
-        drawn = (m >> np.uint64(32)).tolist()
-        if need_total == len(bounds):
-            return drawn
-        vals = [0] * len(bounds)
-        vi = 0
-        for i, r in enumerate(bounds):
-            if r > 1:
-                vals[i] = drawn[vi]
-                vi += 1
-        return vals
-
-    def _draw_batch_slow(
-        self, bounds: List[int], chunks: List[int], fetched: bool
-    ) -> List[int]:
-        """Scalar Lemire replay over ``chunks`` (already fetched words).
-
-        The exact algorithm ``Generator.integers`` runs, draw by draw;
-        the vectorized ``_draw_batch`` delegates here when a rejection
-        fires or the whole batch fits in the buffered half-word.
-        """
-        bg = self.rng.bit_generator
-        vals = []
-        append = vals.append
-        n_chunks = len(chunks)
-        ci = 0
-        for r in bounds:
-            if r <= 1:
-                append(0)
-                continue
-            t = (4294967296 - r) % r
-            while True:
-                if ci == n_chunks:
-                    # A Lemire rejection overran the batch (probability
-                    # ~r/2**32 per draw) — extend one word at a time.
-                    fetched = True
-                    w = int(bg.random_raw())
-                    chunks.append(w & 0xFFFFFFFF)
-                    chunks.append(w >> 32)
-                    n_chunks += 2
-                m = chunks[ci] * r
-                ci += 1
-                if (m & 0xFFFFFFFF) >= t:
-                    append(m >> 32)
-                    break
-        st = bg.state
-        st["has_uint32"] = 1 if ci < n_chunks else 0
-        if fetched:
-            # numpy leaves the last buffered half in ``uinteger`` even
-            # after consuming it; mirror that so states stay bit-equal.
-            st["uinteger"] = chunks[-1]
-        bg.state = st
-        return vals
+        """Batched RNG replay on this run's generator (see :func:`draw_batch`)."""
+        return draw_batch(self.rng, bounds)
 
     def _launch_batched(self, now: int) -> bool:
         """Untraced launch with the cycle's RNG draws batched up front.

@@ -28,6 +28,12 @@ import numpy as np
 
 from repro.core.cache import PathCache
 from repro.errors import ConfigurationError
+from repro.netsim.batchcore import (
+    BATCHABLE_MECHANISMS,
+    BatchLane,
+    BatchSimulator,
+    lane_vc_count,
+)
 from repro.netsim.config import SimConfig
 from repro.netsim.sweep import saturation_throughput
 from repro.netsim.simulator import PatternTraffic
@@ -151,6 +157,135 @@ def _run_cell(
     )
 
 
+def _run_cell_batch(chunk):
+    """Worker: rung-step a chunk of grid cells through the batched engine.
+
+    Cells advance one injection rate at a time.  At each rate, the cells
+    of the chunk still below saturation are grouped by (scheme, VC
+    count) — lanes of one batch must share a buffer layout — and packed
+    into batches of at most ``config.batch_lanes`` lanes; each batch is
+    one lock-step :class:`~repro.netsim.batchcore.BatchSimulator` run.
+    Per-cell ladder RNGs draw exactly one run seed per executed rung, as
+    the serial sweep does, and each lane's telemetry is replayed under a
+    per-cell capture afterwards, so every cell's throughput and
+    artifacts are byte-identical to its per-cell fast-engine run
+    whatever the lane packing.  Cells the batched engine cannot take
+    (vanilla UGAL; every cell while the flight recorder is on) fall back
+    to :func:`_run_cell` unchanged.
+
+    Returns one ``_run_cell``-shaped result tuple per cell, in chunk
+    order.
+    """
+    topology, caches = _GRID_STATE[0]
+    obs_on = _GRID_OBS[0]
+    ts_cfg = _GRID_TS[0]
+    hb = _GRID_HB[0]
+    config: SimConfig = chunk[0][6]
+    rates = chunk[0][5]
+
+    out: List[Optional[tuple]] = [None] * len(chunk)
+    batchable: List[int] = []
+    for i, task in enumerate(chunk):
+        if _GRID_TRACE[0] is None and task[1] in BATCHABLE_MECHANISMS:
+            batchable.append(i)
+        else:
+            out[i] = _run_cell(task)
+    if not batchable:
+        return out
+
+    # Per-cell ladder state, mirroring saturation_throughput(): a ladder
+    # rng seeded from (master seed, cell index), ascending rates, stop
+    # after the first saturated rung, throughput = last rate before it.
+    ladders = {}
+    traffics = {}
+    group_of = {}
+    for i in batchable:
+        _scheme, mech, _pi, flows, n_hosts, _rates, cfg, cell_seed = chunk[i]
+        ladders[i] = np.random.default_rng(np.random.SeedSequence(cell_seed))
+        traffics[i] = PatternTraffic(Pattern("grid", n_hosts, flows))
+        group_of[i] = (_scheme, lane_vc_count(topology, caches[_scheme], mech, cfg))
+    m_snaps = {i: [] for i in batchable}
+    ts_snaps = {i: [] for i in batchable}
+    throughput = {i: 0.0 for i in batchable}
+    done = {i: False for i in batchable}
+
+    for rate in rates:
+        groups: Dict[tuple, List[int]] = {}
+        for i in batchable:
+            if not done[i]:
+                groups.setdefault(group_of[i], []).append(i)
+        if not groups:
+            break
+        for key in sorted(groups):
+            scheme = key[0]
+            members = groups[key]
+            for s in range(0, len(members), config.batch_lanes):
+                pack = members[s : s + config.batch_lanes]
+                # The serial sweep draws one seed per executed rung from
+                # the cell's ladder rng; replicate the draw exactly.
+                lanes = [
+                    BatchLane(
+                        chunk[i][1],
+                        traffics[i],
+                        float(rate),
+                        seed=np.random.default_rng(
+                            int(ladders[i].integers(2**63))
+                        ),
+                    )
+                    for i in pack
+                ]
+                if hb is not None:
+                    hb.task(f"{scheme} rate={rate} x{len(lanes)} lanes")
+                batch = BatchSimulator(topology, caches[scheme], lanes, config)
+                results = batch.run(publish=False, observe=obs_on)
+                for j, i in enumerate(pack):
+                    if obs_on or ts_cfg:
+                        with ExitStack() as stack:
+                            reg = (
+                                stack.enter_context(metrics.capture())
+                                if obs_on else None
+                            )
+                            tsr = (
+                                stack.enter_context(
+                                    obs_timeseries.capture(**ts_cfg)
+                                )
+                                if ts_cfg else None
+                            )
+                            batch.publish_lane(j)
+                            if reg is not None:
+                                m_snaps[i].append(reg.snapshot())
+                            if tsr is not None:
+                                ts_snaps[i].append(tsr.snapshot())
+                    if results[j].saturated:
+                        done[i] = True
+                    else:
+                        throughput[i] = float(rate)
+                if hb is not None:
+                    hb.done()
+
+    for i in batchable:
+        scheme, mech, pattern_index = chunk[i][0], chunk[i][1], chunk[i][2]
+        snap = None
+        if m_snaps[i]:
+            reg = metrics.MetricsRegistry()
+            for s in m_snaps[i]:
+                reg.merge(s)
+            snap = reg.snapshot()
+        ts_snap = None
+        if ts_snaps[i]:
+            tsr = obs_timeseries.TimeseriesRecorder(**ts_cfg)
+            for s in ts_snaps[i]:  # rate order = the serial run order
+                tsr.merge(s)
+            ts_snap = tsr.snapshot()
+        out[i] = (
+            GridCell(scheme, mech, pattern_index, throughput[i]),
+            snap,
+            None,
+            ts_snap,
+        )
+    return out
+
+
 def run_saturation_grid(
     topology: Jellyfish,
     schemes: Sequence[str],
@@ -172,6 +307,11 @@ def run_saturation_grid(
         raise ConfigurationError(f"processes must be >= 1, got {processes}")
     if not schemes or not mechanisms or not patterns:
         raise ConfigurationError("schemes, mechanisms and patterns must be non-empty")
+    if config.batch_lanes > 1 and config.steady_state:
+        raise ConfigurationError(
+            "steady_state grids cannot batch lanes: the batched engine is "
+            "fixed-budget only. Use batch_lanes=1 for steady-state sweeps."
+        )
 
     topo_doc = topology_to_dict(topology)
     # Warm one cache per scheme in the parent; workers import the state.
@@ -218,6 +358,18 @@ def run_saturation_grid(
         obs_timeseries.config(), sink,
     )
     cells: List[GridCell] = []
+
+    def _collect(cell_result):
+        cell, snap, tsnap, ts_snap = cell_result
+        cells.append(cell)
+        metrics.merge_snapshot(snap)
+        obs_trace.merge_snapshot(tsnap)
+        obs_timeseries.merge_snapshot(ts_snap)
+        progress.step()
+        if mon is not None:
+            mon.step()
+
+    batched = config.batch_lanes > 1
     try:
         if processes == 1:
             # Inline cells use the same per-cell capture-and-merge path as
@@ -225,15 +377,12 @@ def run_saturation_grid(
             # telemetry.
             _grid_init(*initargs)
             try:
-                for t in tasks:
-                    cell, snap, tsnap, ts_snap = _run_cell(t)
-                    cells.append(cell)
-                    metrics.merge_snapshot(snap)
-                    obs_trace.merge_snapshot(tsnap)
-                    obs_timeseries.merge_snapshot(ts_snap)
-                    progress.step()
-                    if mon is not None:
-                        mon.step()
+                if batched:
+                    for result in _run_cell_batch(tasks):
+                        _collect(result)
+                else:
+                    for t in tasks:
+                        _collect(_run_cell(t))
             finally:
                 _GRID_STATE[0] = None
                 _GRID_OBS[0] = False
@@ -244,17 +393,29 @@ def run_saturation_grid(
             with ProcessPoolExecutor(
                 max_workers=processes, initializer=_grid_init, initargs=initargs,
             ) as pool:
-                chunksize = max(1, len(tasks) // (4 * processes))
-                for cell, snap, tsnap, ts_snap in pool.map(
-                    _run_cell, tasks, chunksize=chunksize
-                ):
-                    cells.append(cell)
-                    metrics.merge_snapshot(snap)
-                    obs_trace.merge_snapshot(tsnap)
-                    obs_timeseries.merge_snapshot(ts_snap)
-                    progress.step()
-                    if mon is not None:
-                        mon.step()
+                if batched:
+                    # One contiguous chunk of cells per worker; a worker
+                    # rung-steps its own chunk, so pool workers and lane
+                    # packing compose.  Cell seeds depend only on (master
+                    # seed, cell index) and snapshots are per cell, so
+                    # any chunking yields identical results.
+                    n_chunks = min(processes, len(tasks))
+                    chunks = [
+                        [tasks[int(i)] for i in idx]
+                        for idx in np.array_split(
+                            np.arange(len(tasks)), n_chunks
+                        )
+                        if len(idx)
+                    ]
+                    for results in pool.map(_run_cell_batch, chunks):
+                        for result in results:
+                            _collect(result)
+                else:
+                    chunksize = max(1, len(tasks) // (4 * processes))
+                    for cell_result in pool.map(
+                        _run_cell, tasks, chunksize=chunksize
+                    ):
+                        _collect(cell_result)
     finally:
         if mon is not None:
             mon.finish()

@@ -2,12 +2,15 @@
 
 import pickle
 
+import numpy as np
 import pytest
 
 from repro import Jellyfish, PathCache
 from repro.core.path import Path, PathSet
 from repro.errors import ConfigurationError
 from repro.netsim import SimConfig, run_saturation_grid
+from repro.obs import metrics
+from repro.obs import timeseries as obs_timeseries
 from repro.traffic import random_permutation, shift
 
 TINY = SimConfig(warmup_cycles=50, sample_cycles=50, n_samples=2)
@@ -80,4 +83,106 @@ class TestGrid:
         with pytest.raises(ConfigurationError):
             run_saturation_grid(
                 topo, ["sp"], ["random"], pats, rates=(0.5,), processes=0
+            )
+
+
+def _strip_engine_identity(snap):
+    """Drop the keys that legitimately differ between engine tiers."""
+    out = {}
+    for section, values in snap.items():
+        if not isinstance(values, dict) or section == "timers":
+            continue
+        out[section] = {
+            k: v for k, v in values.items()
+            if not (
+                k.startswith("netsim.engine_runs/")
+                or k.startswith("netsim.cycles_per_sec/")
+            )
+        }
+    return out
+
+
+def _grid_with_telemetry(topo, schemes, mechanisms, pats, batch_lanes,
+                         processes=1, **kwargs):
+    cfg = SimConfig(
+        warmup_cycles=50, sample_cycles=50, n_samples=2,
+        batch_lanes=batch_lanes,
+    )
+    with metrics.capture() as reg:
+        with obs_timeseries.capture(window=30, top_links=4) as tsr:
+            grid = run_saturation_grid(
+                topo, schemes, mechanisms, pats, config=cfg,
+                processes=processes, **kwargs,
+            )
+            ts = tsr.snapshot()
+        snap = reg.snapshot()
+    return grid, _strip_engine_identity(snap), ts
+
+
+def _assert_ts_equal(a, b):
+    assert a.keys() == b.keys()
+    for k in a:
+        if isinstance(a[k], np.ndarray):
+            assert np.array_equal(a[k], b[k]), k
+        else:
+            assert a[k] == b[k], k
+
+
+class TestGridBatching:
+    """run_saturation_grid(batch_lanes=N) vs the per-cell fast engine."""
+
+    KW = dict(k=4, rates=(0.2, 0.5, 0.8), seed=9)
+
+    def test_batched_grid_matches_per_cell(self, topo):
+        # ugal is not batchable and must fall back per cell inside the
+        # same grid; everything (cell throughputs, merged metrics minus
+        # the engine identity stamps, time-series artifacts) must be
+        # byte-identical to the per-cell run.
+        pats = [random_permutation(topo.n_hosts, seed=s) for s in (5, 6)]
+        mechs = ["sp", "ksp_adaptive", "ugal"]
+        base = _grid_with_telemetry(topo, ["redksp"], mechs, pats, 1, **self.KW)
+        bat = _grid_with_telemetry(topo, ["redksp"], mechs, pats, 4, **self.KW)
+        assert base[0] == bat[0]
+        assert base[1] == bat[1]
+        _assert_ts_equal(base[2], bat[2])
+
+    def test_batched_engine_stamped(self, topo):
+        pats = [random_permutation(topo.n_hosts, seed=5)]
+        cfg = SimConfig(
+            warmup_cycles=50, sample_cycles=50, n_samples=2, batch_lanes=4,
+        )
+        with metrics.capture() as reg:
+            run_saturation_grid(
+                topo, ["redksp"], ["ksp_adaptive", "ugal"], pats,
+                config=cfg, **self.KW,
+            )
+            snap = reg.snapshot()
+        # Batchable cells ran on the batched tier, ugal fell back.
+        assert snap["counters"]["netsim.engine_runs/batched"] > 0
+        assert snap["counters"]["netsim.engine_runs/fast"] > 0
+        assert snap["gauges"]["netsim.cycles_per_sec/batched"] > 0
+
+    def test_batched_pool_matches_inline(self, topo):
+        pats = [random_permutation(topo.n_hosts, seed=s) for s in (5, 6)]
+        mechs = ["random", "ksp_ugal"]
+        inline = _grid_with_telemetry(
+            topo, ["redksp"], mechs, pats, 3, **self.KW
+        )
+        pooled = _grid_with_telemetry(
+            topo, ["redksp"], mechs, pats, 3, processes=2, **self.KW
+        )
+        assert inline[0] == pooled[0]
+        assert inline[1] == pooled[1]
+        _assert_ts_equal(inline[2], pooled[2])
+
+    def test_steady_state_rejects_batching(self, topo):
+        pats = [random_permutation(topo.n_hosts, seed=0)]
+        cfg = SimConfig(
+            warmup_cycles=50, sample_cycles=50, n_samples=2,
+            batch_lanes=2, steady_state=True,
+        )
+        with pytest.raises(ConfigurationError, match="steady_state"):
+            run_saturation_grid(
+                topo, ["redksp"], ["random"], pats,
+                k=3, rates=(0.5,), config=cfg, seed=0,
             )
