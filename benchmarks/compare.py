@@ -106,6 +106,42 @@ def compare(new_means: dict, base_means: dict, threshold: float):
         yield name, base, new, ratio, gated
 
 
+def _import_ledger():
+    """Import ``repro.obs.ledger``, adding ``src`` to the path if needed."""
+    try:
+        from repro.obs import ledger
+    except ImportError:
+        sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+        from repro.obs import ledger
+    return ledger
+
+
+def feed_ledger(export_path: Path, ledger_path: Path) -> int:
+    """Append every benchmark row of ``export_path`` to the run ledger.
+
+    Each row becomes a content-hash-deduplicated ``kind="bench"`` entry
+    (see ``repro.obs.ledger.bench_entries``), so re-ingesting a committed
+    ``BENCH_*.json`` is a no-op and the checked-in seed ledger can be
+    regenerated from the exports at any time::
+
+        for b in benchmarks/BENCH_*.json; do
+            python benchmarks/compare.py "$b" --ledger benchmarks/LEDGER_seed.jsonl --ledger-only
+        done
+
+    Returns the number of entries actually appended.
+    """
+    ledger = _import_ledger()
+    with open(export_path) as fh:
+        doc = json.load(fh)
+    entries = ledger.bench_entries(doc)
+    appended = ledger.append_entries(ledger_path, entries)
+    print(
+        f"ledger: {ledger_path} += {appended} of {len(entries)} row(s) "
+        f"from {export_path}"
+    )
+    return appended
+
+
 def _is_manifest(path: Path) -> bool:
     """True if ``path`` is a run manifest rather than a benchmark export."""
     try:
@@ -156,7 +192,24 @@ def main(argv=None) -> int:
         help="gate mean(BASE)/mean(NEWROW) >= RATIO within NEW's rows "
              "(exit 1 below RATIO) and exit",
     )
+    parser.add_argument(
+        "--ledger", type=Path, metavar="PATH", default=None,
+        help="append NEW's benchmark rows to the run ledger at PATH "
+             "(content-deduplicated; trendable via "
+             "'python -m repro.experiments runs')",
+    )
+    parser.add_argument(
+        "--ledger-only", action="store_true",
+        help="with --ledger: exit after appending, skip the comparison",
+    )
     args = parser.parse_args(argv)
+
+    if args.ledger_only and args.ledger is None:
+        parser.error("--ledger-only requires --ledger")
+    if args.ledger is not None:
+        feed_ledger(args.new, args.ledger)
+        if args.ledger_only:
+            return 0
 
     if args.slim is not None:
         slim_export(args.new, args.slim)

@@ -6,6 +6,9 @@ With ``--telemetry-dir DIR`` every experiment run additionally produces:
   package version, topology hash, stage timings, metric snapshot);
 - ``<experiment>-<scale>.events.jsonl`` — the structured event log
   (records at or above ``--log-level``);
+- a ledger entry appended to the persistent run index (``--run-ledger``
+  or ``$REPRO_RUN_LEDGER``, else ``run-ledger.jsonl`` next to the
+  manifests) — the input of ``python -m repro.experiments runs``;
 - an ASCII summary on stdout: the stage-timing table and, for simulator
   experiments, the per-scheme link-load-imbalance report.
 """
@@ -116,6 +119,11 @@ def main(argv=None) -> int:
         from repro.obs.compare import main as compare_main
 
         return compare_main(argv[1:])
+    if argv and argv[0] == "runs":
+        # Sub-command family: inspect / trend-gate the run ledger.
+        from repro.obs.trend import main as runs_main
+
+        return runs_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -154,6 +162,14 @@ def main(argv=None) -> int:
         metavar="DIR",
         help="enable the metrics registry and write a run manifest (JSON) "
         "plus a structured event log (JSONL) per experiment here",
+    )
+    parser.add_argument(
+        "--run-ledger",
+        default=None,
+        metavar="PATH",
+        help="append a ledger entry per manifest to PATH (default: "
+        "$REPRO_RUN_LEDGER, else <telemetry-dir>/run-ledger.jsonl; "
+        "requires --telemetry-dir)",
     )
     parser.add_argument(
         "--trace-sample",
@@ -229,6 +245,8 @@ def main(argv=None) -> int:
             parser.error("--timeseries-window requires --telemetry-dir")
     if args.profile and telemetry_dir is None:
         parser.error("--profile requires --telemetry-dir")
+    if args.run_ledger is not None and telemetry_dir is None:
+        parser.error("--run-ledger requires --telemetry-dir")
     if args.batch_lanes < 1:
         parser.error("--batch-lanes must be >= 1")
     if args.batch_lanes > 1 and args.steady_state:
@@ -344,6 +362,7 @@ def _emit_telemetry(
         profile=str(profile_path) if profile_path is not None else None,
     )
     path = write_manifest(doc, telemetry_dir, f"{name}-{args.scale}.manifest.json")
+    ledger_path = _feed_ledger(doc, args, telemetry_dir)
     print(stage_timing_table(snap.get("timers", {})))
     link_arrays = {
         key.split("/", 1)[1]: values
@@ -369,9 +388,41 @@ def _emit_telemetry(
     if profile_path is not None:
         print(f"# profile:  {profile_path}")
     print(f"# manifest: {path}")
+    if ledger_path is not None:
+        print(f"# ledger:   {ledger_path}")
     print()
     obs_log.info("manifest_written", experiment=name, path=str(path))
     obs_log.close_jsonl()
+
+
+def _feed_ledger(doc, args, telemetry_dir: Path):
+    """Append the manifest's ledger entry; return the ledger path.
+
+    Every telemetry-enabled run feeds the persistent cross-run index
+    automatically — ``--run-ledger PATH`` overrides the destination
+    (``$REPRO_RUN_LEDGER``, else a ``run-ledger.jsonl`` next to the
+    manifests).  Appends are atomic and content-deduplicated, so
+    re-running an identical manifest is a no-op.
+    """
+    from repro.obs.ledger import (
+        append_entries,
+        default_ledger_path,
+        manifest_entry,
+    )
+
+    ledger_path = (
+        Path(args.run_ledger)
+        if args.run_ledger is not None
+        else default_ledger_path(telemetry_dir)
+    )
+    appended = append_entries(ledger_path, [manifest_entry(doc)])
+    obs_log.info(
+        "ledger_appended",
+        experiment=doc.get("experiment"),
+        path=str(ledger_path),
+        appended=appended,
+    )
+    return ledger_path
 
 
 def _emit_profile(name: str, args, telemetry_dir: Path, profiler) -> Path:

@@ -8,6 +8,12 @@
   attribution and a route-membership audit;
 - :mod:`repro.obs.compare` — cross-run regression diffing of manifests
   (``python -m repro.experiments compare-runs A B``);
+- :mod:`repro.obs.ledger` — the persistent cross-run index: append-only,
+  content-hash-deduplicated JSONL entries distilled from manifests and
+  benchmark exports, with atomic concurrent-safe appends;
+- :mod:`repro.obs.trend` — N-run trend analysis over the ledger (window
+  median baselines, changepoints, per-host noise floors) and the
+  ``python -m repro.experiments runs`` CLI family;
 - :mod:`repro.obs.timeseries` — windowed simulator time series (per-window
   injection/ejection/latency/stall/occupancy/top-link rows) plus
   steady-state convergence detection and warmup-sufficiency reports;
@@ -27,7 +33,7 @@ Typical embedding use::
     trace.save_trace("run.trace.npz")
 """
 
-from repro.obs import compare, log, metrics, monitor, timeseries, trace
+from repro.obs import compare, ledger, log, metrics, monitor, timeseries, trace, trend
 from repro.obs.manifest import build_manifest, topology_hash, write_manifest
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.monitor import Heartbeater, RunMonitor
@@ -37,11 +43,13 @@ from repro.obs.trace import TraceAnalysis, TraceRecorder
 
 __all__ = [
     "compare",
+    "ledger",
     "log",
     "metrics",
     "monitor",
     "timeseries",
     "trace",
+    "trend",
     "Heartbeater",
     "MetricsRegistry",
     "Progress",

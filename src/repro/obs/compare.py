@@ -19,11 +19,14 @@ What is compared:
 Simulator runs additionally stamp their engine into the manifest (the
 ``netsim.engine_runs/<engine>`` counters and the
 ``netsim.cycles_per_sec/<engine>`` gauges).  When the two manifests ran
-*different* engines, their timings measure different implementations, so
-timing regressions are reported but **not gated** and the diff carries an
-explicit cross-engine note — a fast-engine baseline can never silently
-flag the reference engine (or vice versa) as a performance regression.
-Counters still gate as usual: the engines are byte-equivalent, so counter
+*different* engine sets — any mismatch among the ``reference``, ``fast``
+and ``batched`` tiers, including a batched grid whose fallback cells add
+``fast`` alongside ``batched`` — their timings measure different
+implementations, so timing regressions are reported but **not gated**
+and the diff carries an explicit cross-engine note: a fast-engine
+baseline can never silently flag the reference engine (or the batched
+multi-lane tier) as a performance regression, or vice versa.  Counters
+still gate as usual: all engine tiers are byte-equivalent, so counter
 drift across engines is a real reproducibility failure, not noise.
 
 Manifests from different schema versions refuse to diff with a clear

@@ -32,8 +32,9 @@ __all__ = [
 MANIFEST_FORMAT = "repro-manifest-v1"
 
 #: Bump when manifest fields change shape; ``compare-runs`` refuses to
-#: diff manifests across schema versions.
-MANIFEST_SCHEMA_VERSION = 2
+#: diff manifests across schema versions.  v3 added environment
+#: provenance (host, cpu_count, numpy) for the run ledger.
+MANIFEST_SCHEMA_VERSION = 3
 
 
 @functools.lru_cache(maxsize=1)
@@ -93,6 +94,8 @@ def build_manifest(
     the run was profiled (``--profile``), so the manifest records where
     the raw profile lives.
     """
+    import numpy
+
     import repro
 
     snap = metrics_snapshot or {}
@@ -105,7 +108,12 @@ def build_manifest(
         "package_version": repro.__version__,
         "git_commit": _git_commit(),
         "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
         "platform": platform.platform(),
+        # Environment provenance: ledger entries from different machines
+        # must be distinguishable so trend baselines scope per host.
+        "host": platform.node(),
+        "cpu_count": os.cpu_count(),
         "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "wall_time_s": round(float(wall_time_s), 3),
         "config": dict(config or {}),

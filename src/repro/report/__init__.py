@@ -10,6 +10,7 @@ from repro.report.ascii import (
     bar_chart,
     colorize,
     latency_decomposition_table,
+    ledger_table,
     line_chart,
     link_load_report,
     path_share_table,
@@ -19,12 +20,19 @@ from repro.report.ascii import (
     stage_timing_table,
     supports_ansi,
     term_width,
+    trend_table,
 )
-from repro.report.export import result_to_csv, result_to_json, save_result
+from repro.report.export import (
+    result_to_csv,
+    result_to_json,
+    save_result,
+    trend_dashboard_html,
+)
 
 __all__ = [
     "bar_chart",
     "colorize",
+    "ledger_table",
     "line_chart",
     "link_load_report",
     "latency_decomposition_table",
@@ -35,7 +43,9 @@ __all__ = [
     "stage_timing_table",
     "supports_ansi",
     "term_width",
+    "trend_table",
     "result_to_csv",
     "result_to_json",
     "save_result",
+    "trend_dashboard_html",
 ]

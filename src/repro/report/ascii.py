@@ -35,6 +35,8 @@ __all__ = [
     "latency_decomposition_table",
     "path_share_table",
     "profile_hotspots_table",
+    "ledger_table",
+    "trend_table",
     "supports_ansi",
     "term_width",
     "colorize",
@@ -368,6 +370,112 @@ def path_share_table(
         row.append(f"{off:.1f}%")
         rows.append(row)
     return format_table(header, rows, title=title)
+
+
+def ledger_table(
+    entries: Sequence[Mapping],
+    *,
+    title: str = "run ledger",
+) -> str:
+    """Tabulate run-ledger entries (``repro.obs.ledger`` documents).
+
+    One row per entry in ledger (time) order: id, timestamp, kind,
+    what ran, where, which engine tiers, and wall time.  Deterministic
+    for a fixed ledger — no terminal-width dependence — so the output
+    is diffable between invocations.
+    """
+    if not entries:
+        return f"{title}: (no entries)"
+    rows = []
+    for e in entries:
+        created = str(e.get("created_at") or "")[:19]
+        wall = e.get("wall_time_s")
+        engines = ",".join(e.get("engines") or ()) or "-"
+        rows.append(
+            [
+                str(e.get("id", ""))[:12],
+                created,
+                str(e.get("kind", "")),
+                str(e.get("experiment", "")),
+                str(e.get("scale", "")),
+                str(e.get("host") or "-"),
+                engines,
+                f"{float(wall):.3f}" if wall is not None else "-",
+            ]
+        )
+    out = format_table(
+        ["id", "created", "kind", "experiment", "scale", "host", "engines",
+         "wall (s)"],
+        rows,
+        title=title,
+    )
+    return out + f"\n{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}"
+
+
+#: Metric prefixes shown by default in trend tables (the gated families).
+_TREND_DEFAULT_PREFIXES = ("timing/", "gauge/netsim.cycles_per_sec/")
+
+
+def trend_table(
+    report,
+    *,
+    show_all: bool = False,
+    spark_width: int = 16,
+    title: str = "metric trends",
+) -> str:
+    """Render a :class:`repro.obs.trend.TrendReport` as sparkline tables.
+
+    One row per (series, metric): run count, a fixed-width sparkline of
+    the window (oldest to newest), the window-median baseline, the
+    latest value, the relative delta, and a flag column — ``REGRESSION``
+    for gated drifts, the changepoint/cross-engine note otherwise.  By
+    default only the gated metric families (timings, cycles/sec) and
+    any regressed metric are shown; ``show_all`` includes counters and
+    other gauges.  Deterministic: fixed sparkline width, no terminal
+    queries.
+    """
+    lines = [f"NOTE: {note}" for note in report.notes]
+    shown = [
+        t
+        for t in report.trends
+        if show_all
+        or t.regression
+        or t.metric.startswith(_TREND_DEFAULT_PREFIXES)
+    ]
+    if not shown:
+        lines.append(f"{title}: (no trendable metrics)")
+        return "\n".join(lines)
+    rows = []
+    for t in shown:
+        delta = 100.0 * (t.ratio - 1.0) if t.baseline > 0 else float("inf")
+        flag = "REGRESSION" if t.regression else ""
+        if t.note:
+            flag = (flag + " " + t.note).strip()
+        rows.append(
+            [
+                t.label,
+                t.metric,
+                len(t.values),
+                sparkline(t.values, width=spark_width),
+                f"{t.baseline:.4g}",
+                f"{t.latest:.4g}",
+                f"{delta:+.1f}%",
+                flag,
+            ]
+        )
+    lines.append(
+        format_table(
+            ["series", "metric", "n", "trend", "baseline", "latest",
+             "delta", "flag"],
+            rows,
+            title=title,
+        )
+    )
+    n = len(report.regressions)
+    lines.append(
+        f"{n} trend regression(s)" if n else "no trend regressions"
+    )
+    return "\n".join(lines)
 
 
 def render_dashboard(

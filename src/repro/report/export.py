@@ -1,17 +1,24 @@
-"""Machine-readable export of experiment results (JSON / CSV)."""
+"""Machine-readable export of experiment results (JSON / CSV) and the
+static HTML fleet dashboard rendered from the run ledger."""
 
 from __future__ import annotations
 
 import csv
+import html as _html
 import io
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, List, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.experiments.base import ExperimentResult
 
-__all__ = ["result_to_json", "result_to_csv", "save_result"]
+__all__ = [
+    "result_to_json",
+    "result_to_csv",
+    "save_result",
+    "trend_dashboard_html",
+]
 
 
 def _jsonable(value: Any):
@@ -49,6 +56,273 @@ def result_to_csv(result: ExperimentResult) -> str:
     for row in result.rows:
         writer.writerow(row)
     return buf.getvalue()
+
+
+# ------------------------------------------------------ fleet dashboard
+#
+# A self-contained static HTML page: no scripts, no external assets, and
+# byte-deterministic for a fixed ledger (CI publishes it as a build
+# artifact, so identical inputs must yield identical bytes).  Color
+# follows the dataviz rules: one categorical hue for the single data
+# series, status colors only for regression state (always paired with a
+# text label, never color alone), text in ink tokens, and a light/dark
+# pair selected per surface rather than auto-inverted.
+
+_DASH_CSS = """
+:root {
+  color-scheme: light dark;
+  --surface: #fcfcfb; --page: #f9f9f7;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --border: rgba(11,11,11,0.10);
+  --series: #2a78d6; --critical: #d03b3b; --good: #0ca30c;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --page: #0d0d0d;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835; --border: rgba(255,255,255,0.10);
+    --series: #3987e5; --critical: #e66767; --good: #0ca30c;
+  }
+}
+* { box-sizing: border-box; }
+body { margin: 0; padding: 24px; background: var(--page); color: var(--ink);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 10px; color: var(--ink); }
+.sub { color: var(--ink-2); margin: 0 0 20px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile { background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 130px; }
+.tile .label { color: var(--ink-2); font-size: 12px; }
+.tile .value { font-size: 26px; font-weight: 600; }
+.tile .value.bad { color: var(--critical); }
+.tile .value.ok { color: var(--good); }
+.callout { background: var(--surface); border: 1px solid var(--border);
+  border-left: 3px solid var(--critical); border-radius: 6px;
+  padding: 8px 12px; margin: 6px 0; }
+.callout .tag { color: var(--critical); font-weight: 600; }
+.cards { display: grid; gap: 14px;
+  grid-template-columns: repeat(auto-fill, minmax(340px, 1fr)); }
+.card { background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 14px; }
+.card .name { font-weight: 600; font-size: 13px; }
+.card .where { color: var(--ink-2); font-size: 12px; margin-bottom: 6px; }
+.card .delta { font-size: 12px; color: var(--ink-2); }
+.card .delta .bad { color: var(--critical); font-weight: 600; }
+svg { display: block; width: 100%; height: auto; }
+svg text { font: 10px system-ui, -apple-system, "Segoe UI", sans-serif;
+  fill: var(--muted); font-variant-numeric: tabular-nums; }
+table { border-collapse: collapse; background: var(--surface);
+  font-variant-numeric: tabular-nums; }
+th, td { border: 1px solid var(--grid); padding: 4px 10px;
+  text-align: left; font-size: 13px; }
+th { color: var(--ink-2); font-weight: 600; }
+details { margin-top: 6px; }
+summary { color: var(--ink-2); font-size: 12px; cursor: pointer; }
+"""
+
+
+def _fmt(v: float) -> str:
+    """Compact deterministic number format for labels and tables."""
+    if v != v:  # NaN
+        return "nan"
+    if v == int(v) and abs(v) < 1e6:
+        return str(int(v))
+    return f"{v:.4g}"
+
+
+def _trend_svg(values: Sequence[float], *, regressed: bool) -> str:
+    """One single-series trend chart as inline SVG.
+
+    2px line, end marker with a surface ring, ~10% area wash, hairline
+    gridlines, three y ticks.  Native ``<title>`` tooltips on oversized
+    hover targets carry per-run values.  The latest marker turns the
+    critical status color when the trend regressed — always alongside
+    the textual REGRESSION tag in the card, never color alone.
+    """
+    w, h = 320, 110
+    left, right, top, bottom = 42, 10, 8, 18
+    pw, ph = w - left - right, h - top - bottom
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or (abs(hi) or 1.0)
+    lo_pad, span_pad = lo - 0.08 * span, 1.16 * span
+
+    def x(i: int) -> float:
+        n = len(values)
+        return left + (pw * i / (n - 1) if n > 1 else pw / 2)
+
+    def y(v: float) -> float:
+        return top + ph * (1.0 - (v - lo_pad) / span_pad)
+
+    parts = [
+        f'<svg viewBox="0 0 {w} {h}" role="img" '
+        f'aria-label="trend over {len(values)} runs">'
+    ]
+    # Hairline gridlines + y ticks at min / mid / max of the data range.
+    for tv in (lo, (lo + hi) / 2.0, hi):
+        ty = round(y(tv), 2)
+        parts.append(
+            f'<line x1="{left}" y1="{ty}" x2="{w - right}" y2="{ty}" '
+            f'stroke="var(--grid)" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{left - 4}" y="{ty + 3}" text-anchor="end">'
+            f"{_fmt(tv)}</text>"
+        )
+    pts = [(round(x(i), 2), round(y(v), 2)) for i, v in enumerate(values)]
+    if len(pts) > 1:
+        base_y = round(top + ph, 2)
+        area = (
+            f"M{pts[0][0]},{base_y} "
+            + " ".join(f"L{px},{py}" for px, py in pts)
+            + f" L{pts[-1][0]},{base_y} Z"
+        )
+        parts.append(
+            f'<path d="{area}" fill="var(--series)" opacity="0.1"/>'
+        )
+        line = "M" + " L".join(f"{px},{py}" for px, py in pts)
+        parts.append(
+            f'<path d="{line}" fill="none" stroke="var(--series)" '
+            f'stroke-width="2" stroke-linejoin="round" '
+            f'stroke-linecap="round"/>'
+        )
+    # Oversized hover targets with native tooltips (run index + value).
+    for i, ((px, py), v) in enumerate(zip(pts, values)):
+        parts.append(
+            f'<circle cx="{px}" cy="{py}" r="10" fill="transparent">'
+            f"<title>run {i + 1}: {_fmt(v)}</title></circle>"
+        )
+    end_color = "var(--critical)" if regressed else "var(--series)"
+    px, py = pts[-1]
+    parts.append(
+        f'<circle cx="{px}" cy="{py}" r="6" fill="var(--surface)"/>'
+        f'<circle cx="{px}" cy="{py}" r="4" fill="{end_color}"/>'
+    )
+    parts.append(
+        f'<text x="{left}" y="{h - 4}">run 1</text>'
+        f'<text x="{w - right}" y="{h - 4}" text-anchor="end">'
+        f"run {len(values)}</text>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def trend_dashboard_html(report, entries: Sequence[Mapping]) -> str:
+    """Render the fleet dashboard: a self-contained static HTML page.
+
+    ``report`` is a :class:`repro.obs.trend.TrendReport`; ``entries``
+    the time-ordered ledger entries it was computed from.  Sections:
+    headline stat tiles, regression callouts, the engine-tier breakdown,
+    and one trend card per gated-family metric (timings, cycles/sec)
+    with an inline SVG chart and a collapsible value table.  Pure
+    function of its inputs — no timestamps, no randomness — so the
+    page is byte-identical across renders of the same ledger.
+    """
+    esc = _html.escape
+    n_reg = len(report.regressions)
+    engines: dict = {}
+    for entry in entries:
+        for eng in entry.get("engines") or ():
+            doc = engines.setdefault(eng, {"runs": 0, "latest": 0.0, "best": 0.0})
+            doc["runs"] += 1
+            cps = (entry.get("metrics") or {}).get(
+                f"gauge/netsim.cycles_per_sec/{eng}"
+            )
+            if cps:
+                doc["latest"] = float(cps)
+                doc["best"] = max(doc["best"], float(cps))
+
+    out: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8"/>',
+        "<title>repro · run ledger dashboard</title>",
+        f"<style>{_DASH_CSS}</style></head><body>",
+        "<h1>Run ledger — trend observatory</h1>",
+        '<p class="sub">Cross-run metric trends from the persistent run '
+        "ledger; regressions gate per-host against the window median and "
+        "sustained changepoints.</p>",
+    ]
+
+    reg_cls = "bad" if n_reg else "ok"
+    out.append('<div class="tiles">')
+    for label, value, cls in (
+        ("Ledger entries", str(report.n_entries), ""),
+        ("Series", str(report.n_series), ""),
+        ("Trend regressions", str(n_reg), reg_cls),
+        ("Engine tiers", str(len(engines)), ""),
+    ):
+        out.append(
+            f'<div class="tile"><div class="label">{esc(label)}</div>'
+            f'<div class="value {cls}">{esc(value)}</div></div>'
+        )
+    out.append("</div>")
+
+    if report.regressions or report.notes:
+        out.append("<h2>Callouts</h2>")
+        for t in report.regressions:
+            delta = 100.0 * (t.ratio - 1.0) if t.baseline > 0 else float("inf")
+            note = f" ({esc(t.note)})" if t.note else ""
+            out.append(
+                f'<div class="callout"><span class="tag">⚠ REGRESSION</span> '
+                f"{esc(t.label)} · {esc(t.metric)}: latest {_fmt(t.latest)} "
+                f"vs baseline {_fmt(t.baseline)} ({delta:+.1f}%){note}</div>"
+            )
+        for note in report.notes:
+            out.append(
+                f'<div class="callout" style="border-left-color:'
+                f'var(--axis)">{esc(note)}</div>'
+            )
+
+    if engines:
+        out.append("<h2>Engine tiers</h2>")
+        out.append(
+            "<table><tr><th>engine</th><th>runs recorded</th>"
+            "<th>latest cycles/s</th><th>best cycles/s</th></tr>"
+        )
+        for eng in sorted(engines):
+            doc = engines[eng]
+            out.append(
+                f"<tr><td>{esc(eng)}</td><td>{doc['runs']}</td>"
+                f"<td>{_fmt(doc['latest'])}</td>"
+                f"<td>{_fmt(doc['best'])}</td></tr>"
+            )
+        out.append("</table>")
+
+    cards = [
+        t
+        for t in report.trends
+        if t.regression
+        or t.metric.startswith("timing/")
+        or t.metric.startswith("gauge/netsim.cycles_per_sec/")
+    ]
+    out.append("<h2>Metric trends</h2>")
+    if not cards:
+        out.append('<p class="sub">No trendable metrics in the ledger.</p>')
+    out.append('<div class="cards">')
+    for t in cards:
+        delta = 100.0 * (t.ratio - 1.0) if t.baseline > 0 else float("inf")
+        tag = (
+            '<span class="bad">REGRESSION</span> · ' if t.regression else ""
+        )
+        note = f" · {esc(t.note)}" if t.note else ""
+        rows = "".join(
+            f"<tr><td>{i + 1}</td><td>{_fmt(v)}</td></tr>"
+            for i, v in enumerate(t.values)
+        )
+        out.append(
+            '<div class="card">'
+            f'<div class="name">{esc(t.metric)}</div>'
+            f'<div class="where">{esc(t.label)} · {len(t.values)} runs</div>'
+            f"{_trend_svg(t.values, regressed=t.regression)}"
+            f'<div class="delta">{tag}baseline {_fmt(t.baseline)} · '
+            f"latest {_fmt(t.latest)} ({delta:+.1f}%){note}</div>"
+            f"<details><summary>values</summary><table>"
+            f"<tr><th>run</th><th>value</th></tr>{rows}</table></details>"
+            "</div>"
+        )
+    out.append("</div>")
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"
 
 
 def save_result(result: ExperimentResult, path: str | Path) -> Path:

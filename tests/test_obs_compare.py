@@ -205,6 +205,61 @@ def test_cross_engine_counter_drift_still_gates():
     assert "netsim.flits_forwarded" in names
 
 
+def test_batched_cross_engine_timings_waived():
+    # The timing-gate waiver must cover the batched multi-lane tier the
+    # same way it covers fast-vs-reference: a batched grid's timings
+    # measure a different core than a per-cell run's.
+    base = _engine_manifest("fast", stage_total=1.0)
+    new = _engine_manifest("batched", stage_total=5.0)
+    diff = compare_manifests(base, new, timing_threshold=0.25)
+    assert diff.regressions == []
+    assert any("cross-engine" in note for note in diff.notes)
+    rendered = diff.render()
+    assert "batched" in rendered and "fast" in rendered
+
+
+def test_mixed_batched_manifest_triggers_waiver():
+    # A batched grid with fallback cells stamps BOTH engines
+    # (netsim.engine_runs/{fast,batched}); against a pure fast run the
+    # engine sets differ, so the waiver must trigger.
+    snap = {
+        "timers": {"experiment.fig9": {"count": 1, "total": 5.0}},
+        "counters": {
+            "netsim.flits_forwarded": 1000,
+            "netsim.engine_runs/fast": 2,
+            "netsim.engine_runs/batched": 6,
+        },
+    }
+    mixed = build_manifest(
+        experiment="fig9", scale="small", seed=0,
+        wall_time_s=2.0, metrics_snapshot=snap,
+    )
+    assert engines_of(mixed) == {"batched", "fast"}
+    diff = compare_manifests(
+        _engine_manifest("fast", stage_total=1.0), mixed,
+        timing_threshold=0.25,
+    )
+    assert diff.regressions == []
+    assert any("batched" in note for note in diff.notes)
+
+
+def test_batched_same_engine_timings_still_gate():
+    base = _engine_manifest("batched", stage_total=1.0)
+    new = _engine_manifest("batched", stage_total=5.0)
+    diff = compare_manifests(base, new, timing_threshold=0.25)
+    assert diff.notes == []
+    assert any(d.kind == "timing" for d in diff.regressions)
+
+
+def test_batched_cross_engine_counter_drift_still_gates():
+    base = _engine_manifest("fast", counters={"netsim.flits_forwarded": 1000})
+    new = _engine_manifest(
+        "batched", counters={"netsim.flits_forwarded": 1500}
+    )
+    diff = compare_manifests(base, new, metric_threshold=0.1)
+    assert "netsim.flits_forwarded" in {d.name for d in diff.regressions}
+
+
 def test_cycles_per_sec_gauges_reported_never_gated():
     base = _engine_manifest("fast", cps=2.0e5)
     new = _engine_manifest("fast", cps=0.5e5)  # 4x throughput drop
