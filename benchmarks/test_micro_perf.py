@@ -12,6 +12,7 @@ from repro import Jellyfish, PathCache
 from repro.appsim.fairshare import maxmin_rates
 from repro.core.yen import k_shortest_paths
 from repro.netsim import SimConfig, Simulator, UniformTraffic, run_saturation_grid
+from repro.obs import linkstate
 from repro.obs import metrics
 from repro.obs import timeseries
 from repro.obs import trace
@@ -95,6 +96,7 @@ def test_perf_simulator_cycles(benchmark):
     """
     assert not metrics.enabled()
     assert not timeseries.enabled()
+    benchmark.extra_info["engines"] = ["fast"]
     topo = Jellyfish(12, 10, 6, seed=7)
     cache = PathCache(topo, "redksp", k=4, seed=1)
     cfg = SimConfig(warmup_cycles=100, sample_cycles=100, n_samples=2)
@@ -120,6 +122,7 @@ def test_perf_simulator_cycles_reference(benchmark):
     the CI perf-smoke job gates the fast row, and this one documents
     what it is being compared against.
     """
+    benchmark.extra_info["engines"] = ["reference"]
     topo = Jellyfish(12, 10, 6, seed=7)
     cache = PathCache(topo, "redksp", k=4, seed=1)
     cfg = SimConfig(
@@ -173,6 +176,7 @@ def test_perf_grid_percell(benchmark, grid_workload):
     --require-speedup`` divides this row's mean by the batched row's and
     the CI perf-smoke job fails below 2x.
     """
+    benchmark.extra_info["engines"] = ["fast"]
     topo, pats = grid_workload
     grid = benchmark.pedantic(
         lambda: _run_grid(topo, pats, 1),
@@ -189,6 +193,7 @@ def test_perf_grid_batched(benchmark, grid_workload):
     ``tests/test_batchcore_equivalence.py``); only the wall clock may
     differ.
     """
+    benchmark.extra_info["engines"] = ["batched"]
     topo, pats = grid_workload
     grid = benchmark.pedantic(
         lambda: _run_grid(topo, pats, 8),
@@ -249,6 +254,7 @@ def test_perf_simulator_cycles_traced(benchmark):
     like the other ``simulator`` benchmarks).
     """
     assert not trace.enabled()
+    benchmark.extra_info["engines"] = ["fast"]
     topo = Jellyfish(12, 10, 6, seed=7)
     cache = PathCache(topo, "redksp", k=4, seed=1)
     cfg = SimConfig(warmup_cycles=100, sample_cycles=100, n_samples=2)
@@ -278,6 +284,7 @@ def test_perf_simulator_cycles_timeseries(benchmark):
     comparison.
     """
     assert not timeseries.enabled()
+    benchmark.extra_info["engines"] = ["fast"]
     topo = Jellyfish(12, 10, 6, seed=7)
     cache = PathCache(topo, "redksp", k=4, seed=1)
     cfg = SimConfig(warmup_cycles=100, sample_cycles=100, n_samples=2)
@@ -295,3 +302,35 @@ def test_perf_simulator_cycles_timeseries(benchmark):
     r = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
     assert r.delivered > 0
     assert not timeseries.enabled()
+
+
+@pytest.mark.obs
+def test_perf_simulator_cycles_linkstate(benchmark):
+    """The same workload with the dense link-state recorder on.
+
+    The congestion-forensics perf guard: ``--linkstate 100`` tallies
+    per-link forwarded flits and credit stalls every cycle and samples
+    peak VC occupancy at end of cycle, all into preallocated window
+    matrices.  The CI perf-smoke job gates this row against the plain
+    ``test_perf_simulator_cycles`` run and fails when the enabled-mode
+    overhead exceeds 10%.
+    """
+    assert not linkstate.enabled()
+    benchmark.extra_info["engines"] = ["fast"]
+    topo = Jellyfish(12, 10, 6, seed=7)
+    cache = PathCache(topo, "redksp", k=4, seed=1)
+    cfg = SimConfig(warmup_cycles=100, sample_cycles=100, n_samples=2)
+
+    def run():
+        with linkstate.capture(window=100) as rec:
+            sim = Simulator(
+                topo, cache, "ksp_adaptive", UniformTraffic(topo.n_hosts),
+                0.5, cfg, seed=0,
+            )
+            result = sim.run()
+        assert rec.n_windows > 0
+        return result
+
+    r = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert r.delivered > 0
+    assert not linkstate.enabled()

@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Callable, Dict
 
 from repro.errors import ConfigurationError
+from repro.obs import linkstate as obs_linkstate
 from repro.obs import log as obs_log
 from repro.obs import metrics
 from repro.obs import monitor as obs_monitor
@@ -124,6 +125,11 @@ def main(argv=None) -> int:
         from repro.obs.trend import main as runs_main
 
         return runs_main(argv[1:])
+    if argv and argv[0] == "inspect":
+        # Sub-command: congestion forensics over a telemetry directory.
+        from repro.obs.forensics import main as inspect_main
+
+        return inspect_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -192,6 +198,19 @@ def main(argv=None) -> int:
         "and prints its summary (requires --telemetry-dir)",
     )
     parser.add_argument(
+        "--linkstate",
+        nargs="?",
+        const=100,
+        default=None,
+        type=int,
+        metavar="WINDOW",
+        help="enable dense per-link state capture (flits forwarded, credit "
+        "stalls, peak VC occupancy per directed link) in WINDOW-cycle "
+        "windows (default window: 100); writes "
+        "<experiment>-<scale>.linkstate.npz — the input of 'inspect' "
+        "(requires --telemetry-dir)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="run each experiment under cProfile; writes "
@@ -243,6 +262,11 @@ def main(argv=None) -> int:
             parser.error("--timeseries-window must be >= 1")
         if telemetry_dir is None:
             parser.error("--timeseries-window requires --telemetry-dir")
+    if args.linkstate is not None:
+        if args.linkstate < 1:
+            parser.error("--linkstate window must be >= 1")
+        if telemetry_dir is None:
+            parser.error("--linkstate requires --telemetry-dir")
     if args.profile and telemetry_dir is None:
         parser.error("--profile requires --telemetry-dir")
     if args.run_ledger is not None and telemetry_dir is None:
@@ -278,6 +302,8 @@ def main(argv=None) -> int:
                     obs_trace.enable(sample=args.trace_sample)
                 if args.timeseries_window is not None:
                     obs_timeseries.enable(window=args.timeseries_window)
+                if args.linkstate is not None:
+                    obs_linkstate.enable(window=args.linkstate)
                 obs_log.open_jsonl(
                     telemetry_dir / f"{name}-{args.scale}.events.jsonl"
                 )
@@ -323,6 +349,7 @@ def main(argv=None) -> int:
         metrics.disable()
         obs_trace.disable()
         obs_timeseries.disable()
+        obs_linkstate.disable()
         obs_monitor.disable()
         obs_log.close_jsonl()
     return 0
@@ -338,6 +365,9 @@ def _emit_telemetry(
     ts_path = None
     if args.timeseries_window is not None:
         steady_report, ts_path = _emit_timeseries(name, args, telemetry_dir)
+    ls_path = None
+    if args.linkstate is not None:
+        ls_path = _emit_linkstate(name, args, telemetry_dir)
     profile_path = None
     if profiler is not None:
         profile_path = _emit_profile(name, args, telemetry_dir, profiler)
@@ -352,6 +382,7 @@ def _emit_telemetry(
             "export_dir": args.export_dir,
             "trace_sample": args.trace_sample,
             "timeseries_window": args.timeseries_window,
+            "linkstate": args.linkstate,
             "steady_state": args.steady_state,
             "batch_lanes": args.batch_lanes,
             "profile": args.profile,
@@ -385,6 +416,12 @@ def _emit_telemetry(
         _emit_trace(name, args, telemetry_dir)
     if ts_path is not None:
         print(f"# timeseries: {ts_path}")
+    if ls_path is not None:
+        print(f"# linkstate: {ls_path}")
+        print(
+            f"# inspect it: python -m repro.experiments inspect "
+            f"{telemetry_dir}"
+        )
     if profile_path is not None:
         print(f"# profile:  {profile_path}")
     print(f"# manifest: {path}")
@@ -463,6 +500,26 @@ def _emit_timeseries(name: str, args, telemetry_dir: Path):
         warmup_sufficient=int(report["n_warmup_sufficient"]),
     )
     return report, ts_path
+
+
+def _emit_linkstate(name: str, args, telemetry_dir: Path):
+    """Persist the dense link-state matrices; return the path or None."""
+    from repro.obs.linkstate import save_linkstate
+
+    snap = obs_linkstate.snapshot()
+    obs_linkstate.disable()
+    if snap is None or not snap["n_windows"]:
+        return None
+    ls_path = telemetry_dir / f"{name}-{args.scale}.linkstate.npz"
+    save_linkstate(ls_path, snap)
+    obs_log.info(
+        "linkstate_written",
+        experiment=name,
+        path=str(ls_path),
+        runs=int(snap["n_runs"]),
+        windows=int(snap["n_windows"]),
+    )
+    return ls_path
 
 
 def _emit_trace(name: str, args, telemetry_dir: Path) -> None:

@@ -77,6 +77,7 @@ from repro.netsim.simulator import (
     SimResult,
     UniformTraffic,
 )
+from repro.obs import linkstate as obs_linkstate
 from repro.obs import metrics
 from repro.obs import timeseries as obs_timeseries
 from repro.obs import trace as obs_trace
@@ -440,6 +441,45 @@ class BatchSimulator:
         else:
             self._ts_linkf = None
 
+        # Dense link-state capture: union tallies over the lane-major
+        # link range, rows buffered per lane and replayed at publish
+        # time like the time-series rows.  Peak is the end-of-cycle
+        # maximum (see Simulator.__init__) — order-independent, so the
+        # vectorized grant pass needs no serial replay.
+        lsr = obs_linkstate.active()
+        if lsr is None and config.linkstate:
+            raise ConfigurationError(
+                "SimConfig(linkstate=True) requires an active link-state "
+                "recorder: enable repro.obs.linkstate (or use its capture() "
+                "context) before building the batched engine"
+            )
+        self._ls = lsr
+        self._ls_start = 0
+        self._ls_next = lsr.window if lsr is not None else 0
+        self._ls_rows: List[List[dict]] = [[] for _ in range(N)]
+        self._inj_lbase = topology.injection_link_base
+        self._ej_lbase = topology.ejection_link_base
+        if lsr is not None:
+            nlk = self._n_links
+            self._ls_fwd = np.zeros(N * nlk, dtype=np.int64)
+            self._ls_stall = np.zeros(N * nlk, dtype=np.int64)
+            self._ls_peak = np.zeros(N * nlk, dtype=np.int64)
+            self._ls_ep = obs_linkstate.link_endpoints(topology)
+            self._ls_meta = [
+                dict(
+                    scheme=scheme,
+                    mechanism=self._mech_names[i],
+                    rate=self._rates[i],
+                    n_hosts=n_hosts,
+                    n_links=nlk,
+                    warmup_cycles=config.warmup_cycles,
+                    channel_latency=config.channel_latency,
+                )
+                for i in range(N)
+            ]
+        else:
+            self._ls_fwd = self._ls_stall = self._ls_peak = None
+
         # Allocation scratch reused across slots and cycles.
         self._port_cands: List[List[Tuple[int, int]]] = [
             [] for _ in range(self.n_ports)
@@ -719,6 +759,11 @@ class BatchSimulator:
             return
         okm = free[loff + self._host_buf_np[nz]] > 0
         stalls = int(nz.size) - int(okm.sum())
+        if self._ls_stall is not None and stalls:
+            # Each stalled host appears once, so the fancy add is exact.
+            self._ls_stall[
+                lane * self._n_links + self._inj_lbase + nz[~okm]
+            ] += 1
         if self._q_ints[lane]:
             self._launch_fixed(lane, nz[okm], stalls)
             return
@@ -800,6 +845,8 @@ class BatchSimulator:
         else:
             picker = self._bchoose_ksp_adaptive
         locc = lane * self._n_links
+        ls_fwd = self._ls_fwd
+        inj_lb = self._inj_lbase
         c = 0
         pid_l: List[int] = []
         rid_l: List[int] = []
@@ -834,6 +881,8 @@ class BatchSimulator:
             t0_l.append(t_create)
             dst_l.append(dst)
             idx_l.append(loff + host_buf[h])
+            if ls_fwd is not None:
+                ls_fwd[locc + inj_lb + h] += 1
         self._pk_n = pk_n
         if launched >= 16:
             # One scatter per packet field (each pid and each injection
@@ -1102,6 +1151,9 @@ class BatchSimulator:
         self._pk_dest[pids] = idxs
         self._pk_lane[pids] = lanev
         self._free[idxs] -= 1
+        if self._ls_fwd is not None:
+            # (lane, host) pairs are unique this cycle: fancy add exact.
+            self._ls_fwd[locc + self._inj_lbase + hosts] += 1
         bucket.append(pids)
 
     def _lazy_pair_rec(self, lane: int, sw_s: int, sw_d: int) -> tuple:
@@ -1301,7 +1353,11 @@ class BatchSimulator:
             if keep is not None:
                 # The dropped heads are definite stalls, counted per lane
                 # exactly as the serial gathering pass would.
-                np.add.at(self._stalls, act[~keep] // self._n_bufs, 1)
+                drops = act[~keep]
+                np.add.at(self._stalls, drops // self._n_bufs, 1)
+                if self._ls_stall is not None and drops.size:
+                    # Several heads can block on one wanted link.
+                    np.add.at(self._ls_stall, self._req_link[drops], 1)
             if w_act.size:
                 self._grant_winners(now, act, slot, okey, nxt, c_idx, w)
             return
@@ -1321,7 +1377,10 @@ class BatchSimulator:
         if keep is not None:
             drop_clean = cmask & ~keep
             if drop_clean.any():
-                np.add.at(self._stalls, act[drop_clean] // self._n_bufs, 1)
+                drops = act[drop_clean]
+                np.add.at(self._stalls, drops // self._n_bufs, 1)
+                if self._ls_stall is not None:
+                    np.add.at(self._ls_stall, self._req_link[drops], 1)
         wkeep = ~dirty[w_slot]
         g_act = w_act[wkeep]
         if g_act.size:
@@ -1416,11 +1475,23 @@ class BatchSimulator:
                 np.subtract.at(self._occ, dec, 1)
         self._pk_dest[pid] = nxt
         fm = nxt >= 0
+        ls_fwd = self._ls_fwd
+        if ls_fwd is not None:
+            em = ~fm
+            if em.any():
+                # One eject per (lane, host) output port: fancy add exact.
+                ls_fwd[
+                    lanes[em] * self._n_links + self._ej_lbase
+                    + self._pk_dst[pid[em]]
+                ] += 1
         if fm.any():
             f_act = act[fm]
             wl = self._req_link[f_act]
             self._free[nxt[fm]] -= 1
             self._occ[wl] += 1
+            if ls_fwd is not None:
+                # One grant per output port, so winner links are unique.
+                ls_fwd[wl] += 1
             fl = lanes[fm]
             self._fwd += np.bincount(fl, minlength=N)
             lidx = wl - fl * (self._n_links - self._n_sl)
@@ -1465,6 +1536,9 @@ class BatchSimulator:
         occ = self._occ
         link_flits = self._link_flits
         ts_lf = self._ts_linkf
+        ls_fwd = self._ls_fwd
+        ls_stall = self._ls_stall
+        ej_lb = self._ej_lbase
         stride = self._stride
         n_ports = self.n_ports
         n_sw = self._n_sw
@@ -1503,6 +1577,8 @@ class BatchSimulator:
                         credit -= 1
                     if credit <= 0:
                         stalls_l[lane] += 1
+                        if ls_stall is not None:
+                            ls_stall[rl_l[j]] += 1
                         j += 1
                         continue
                 op = ro_l[j]
@@ -1570,12 +1646,16 @@ class BatchSimulator:
                 if il >= 0:
                     occ[il] -= 1
                 if tgt < 0:
+                    if ls_fwd is not None:
+                        ls_fwd[locc + ej_lb + int(pk_dst[pid])] += 1
                     pk_dest[pid] = -1
                     bucket.append(pid)
                 else:
                     free[tgt] -= 1
                     occ[wl] += 1
                     fwd_l[lane] += 1
+                    if ls_fwd is not None:
+                        ls_fwd[wl] += 1
                     lidx = wl - lane * lf_shift
                     if measuring:
                         link_flits[lidx] += 1
@@ -1598,7 +1678,7 @@ class BatchSimulator:
 
     # ---------------------------------------------------------------- run
     def _advance(self, start: int, stop: int) -> None:
-        if self._ts is None:
+        if self._ts is None and self._ls is None:
             for now in range(start, stop):
                 self._process_arrivals(now)
                 self._inject_all(now)
@@ -1606,17 +1686,28 @@ class BatchSimulator:
                 self._allocate(now)
             return
         cur = start
+        ls_on = self._ls is not None
         while cur < stop:
-            nxt = min(stop, self._win_next)
+            nxt = stop
+            if self._ts is not None:
+                nxt = min(nxt, self._win_next)
+            if ls_on:
+                nxt = min(nxt, self._ls_next)
             for now in range(cur, nxt):
                 self._process_arrivals(now)
                 self._inject_all(now)
                 self._launch_all(now)
                 self._allocate(now)
+                if ls_on:
+                    # End-of-cycle peak, one vector max over the union.
+                    np.maximum(self._ls_peak, self._occ, out=self._ls_peak)
             cur = nxt
-            if cur == self._win_next:
+            if self._ts is not None and cur == self._win_next:
                 self._flush_window(cur)
                 self._win_next += self._ts.window
+            if ls_on and cur == self._ls_next:
+                self._flush_ls_window(cur)
+                self._ls_next += self._ls.window
 
     def _buffered_per_lane(self) -> np.ndarray:
         caps = self._n_bufs * self._cap
@@ -1658,6 +1749,29 @@ class BatchSimulator:
         self._wp_fwd = self._fwd.copy()
         self._win_start = now
 
+    def _flush_ls_window(self, now: int) -> None:
+        """Buffer one link-state row per lane covering ``[_ls_start, now)``."""
+        cycles = now - self._ls_start
+        if cycles <= 0:
+            return
+        nl = self._n_links
+        for lane in range(self._n):
+            s = lane * nl
+            self._ls_rows[lane].append(
+                dict(
+                    start=self._ls_start,
+                    cycles=cycles,
+                    forwarded=self._ls_fwd[s : s + nl].copy(),
+                    credit_stalls=self._ls_stall[s : s + nl].copy(),
+                    peak_occupancy=self._ls_peak[s : s + nl].copy(),
+                )
+            )
+        self._ls_fwd[:] = 0
+        self._ls_stall[:] = 0
+        # Peak carries over: the next window opens at current occupancy.
+        self._ls_peak[:] = self._occ
+        self._ls_start = now
+
     def run(
         self, publish: bool = True, observe: Optional[bool] = None
     ) -> List[SimResult]:
@@ -1690,6 +1804,8 @@ class BatchSimulator:
         self._end_cycle = start
         if self._ts is not None:
             self._flush_window(start)  # the final, possibly partial window
+        if self._ls is not None:
+            self._flush_ls_window(start)
         self._ts_ann = dict(
             warmup_cycles_used=cfg.warmup_cycles,
             measured_samples=cfg.n_samples,
@@ -1812,6 +1928,13 @@ class BatchSimulator:
                 ts.record_window(run, **row)
             if self._ts_ann is not None:
                 ts.annotate_run(run, **self._ts_ann)
+        lsr = obs_linkstate.active()
+        if lsr is not None and self._ls is not None:
+            run = lsr.begin_run(**self._ls_meta[lane])
+            ep = self._ls_ep
+            lsr.set_link_endpoints(ep["link_src"], ep["link_dst"])
+            for row in self._ls_rows[lane]:
+                lsr.record_window(run, **row)
 
     # -------------------------------------------------------------- drain
     def drain(self) -> List[int]:

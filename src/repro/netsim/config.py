@@ -72,6 +72,15 @@ class SimConfig:
         per-run engine.  Lanes require the array-native core underneath,
         so ``batch_lanes > 1`` with ``engine="reference"`` is a
         configuration error rather than a silent per-cell fallback.
+    linkstate:
+        Declare that runs under this config must capture dense per-link
+        state (:mod:`repro.obs.linkstate`).  Capture itself is keyed off
+        the module recorder — any engine records windows whenever
+        ``repro.obs.linkstate`` is enabled, exactly like the metrics and
+        trace subsystems — but with ``linkstate=True`` a simulator built
+        *without* an active recorder raises
+        :class:`~repro.errors.ConfigurationError` instead of silently
+        dropping the forensic record the caller asked for.
     """
 
     channel_latency: int = 10
@@ -90,6 +99,7 @@ class SimConfig:
     max_warmup_cycles: int = 8_000
     engine: str = "fast"
     batch_lanes: int = 1
+    linkstate: bool = False
 
     def __post_init__(self):
         if self.engine not in ("fast", "reference"):

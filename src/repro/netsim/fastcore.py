@@ -549,12 +549,18 @@ class FastSimulator(Simulator):
         lapp = launchers.append
         bounds: List[int] = []
         bapp = bounds.append
+        ls_on = self._ls is not None
+        ls_stalled: List[int] = []
         stalls = 0
         for h, q in self.source_q.items():
             if not q:
                 continue
             if free[host_buf[h]] <= 0:
                 stalls += 1
+                if ls_on:
+                    # Deferred: the scan may still bail out with no state
+                    # mutated when a pair record is cold.
+                    ls_stalled.append(h)
                 continue
             rec = pair_get(host_sw[h] * n_sw + host_sw[q[0][1]])
             if rec is None:
@@ -571,6 +577,11 @@ class FastSimulator(Simulator):
             lapp((h, q, rec))
         if not launchers:
             self.credit_stalls += stalls
+            if ls_stalled:
+                ls_stall = self._ls_stall
+                inj_base = self._inj_link_base
+                for h in ls_stalled:
+                    ls_stall[inj_base + h] += 1
             return True
         vals = self._draw_batch(bounds) if bounds else ()
         launched = len(launchers)
@@ -586,6 +597,9 @@ class FastSimulator(Simulator):
         pk_tr, pk_dest = self._pk_tr, self._pk_dest
         freelist = self._pk_free
         bucket = self._cal[(now + self._cl) % self._calP]
+        if ls_on:
+            ls_fwd = self._ls_fwd
+            inj_base = self._inj_link_base
         c = 0
         for h, q, rec in launchers:
             t_create, dst = q.popleft()
@@ -616,8 +630,15 @@ class FastSimulator(Simulator):
                 pk_tr.append(-1)
                 pk_dest.append(idx)
             free[idx] -= 1
+            if ls_on:
+                ls_fwd[inj_base + h] += 1
             bucket.append(pid)
         self.credit_stalls += stalls
+        if ls_stalled:
+            ls_stall = self._ls_stall
+            inj_base = self._inj_link_base
+            for h in ls_stalled:
+                ls_stall[inj_base + h] += 1
         self._n_flying += launched
         self._n_sourced -= launched
         return True
@@ -686,6 +707,11 @@ class FastSimulator(Simulator):
         pk_tr, pk_dest = self._pk_tr, self._pk_dest
         freelist = self._pk_free
         bucket = self._cal[(now + self._cl) % self._calP]
+        ls_on = self._ls is not None
+        if ls_on:
+            ls_fwd = self._ls_fwd
+            ls_stall = self._ls_stall
+            inj_base = self._inj_link_base
         stalls = 0
         launched = 0
         for h, q in self.source_q.items():
@@ -694,6 +720,8 @@ class FastSimulator(Simulator):
             idx = host_buf[h]
             if free[idx] <= 0:
                 stalls += 1
+                if ls_on:
+                    ls_stall[inj_base + h] += 1
                 if tracing and q[0][-1] >= 0:
                     tr.event(
                         q[0][-1], self._trace_run, obs_trace.EV_CREDIT_STALL,
@@ -733,6 +761,8 @@ class FastSimulator(Simulator):
                     switch=host_sw[h], port=host_inj[h], vc=0,
                 )
             free[idx] -= 1
+            if ls_on:
+                ls_fwd[inj_base + h] += 1
             bucket.append(pid)
             launched += 1
         self.credit_stalls += stalls
@@ -766,6 +796,12 @@ class FastSimulator(Simulator):
         occ = self._occ
         link_flits = self._link_flits
         ts_links = self._ts_link_flits if self._ts is not None else None
+        if self._ls is not None:
+            ls_fwd = self._ls_fwd
+            ls_stall = self._ls_stall
+            ej_base = self._ej_link_base
+        else:
+            ls_fwd = ls_stall = None
         measuring = now >= self._measure_start
         stalls = 0
         forwarded = 0
@@ -788,6 +824,8 @@ class FastSimulator(Simulator):
                 nxt = req_nxt[fi]
                 if nxt >= 0 and free[nxt] <= 0:
                     stalls += 1
+                    if ls_stall is not None:
+                        ls_stall[req_link[fi]] += 1
                     continue
                 out_port = req_out[fi]
                 cands = pbuf[out_port]
@@ -860,6 +898,8 @@ class FastSimulator(Simulator):
 
                 if tgt < 0:
                     # Ejection to the destination host.
+                    if ls_fwd is not None:
+                        ls_fwd[ej_base + pk_dst[pid]] += 1
                     pk_dest[pid] = -1
                     bucket.append(pid)
                 else:
@@ -870,6 +910,8 @@ class FastSimulator(Simulator):
                         link_flits[wlink] += 1
                     if ts_links is not None:
                         ts_links[wlink] += 1
+                    if ls_fwd is not None:
+                        ls_fwd[wlink] += 1
                     pk_link[pid] = wlink
                     pk_hop[pid] += 1
                     pk_dest[pid] = tgt
@@ -905,6 +947,12 @@ class FastSimulator(Simulator):
         occ = self._occ
         link_flits = self._link_flits
         ts_links = self._ts_link_flits if self._ts is not None else None
+        if self._ls is not None:
+            ls_fwd = self._ls_fwd
+            ls_stall = self._ls_stall
+            ej_base = self._ej_link_base
+        else:
+            ls_fwd = ls_stall = None
         tr = self._trace
         measuring = now >= self._measure_start
         stalls = 0
@@ -923,6 +971,8 @@ class FastSimulator(Simulator):
                 nxt = req_nxt[fi]
                 if nxt >= 0 and free[nxt] <= 0:
                     stalls += 1
+                    if ls_stall is not None:
+                        ls_stall[req_link[fi]] += 1
                     pid = fifo[fi * cap + fhead[fi]]
                     if pk_tr[pid] >= 0:
                         tr.event(
@@ -993,6 +1043,8 @@ class FastSimulator(Simulator):
 
                 if tgt < 0:
                     # Ejection to the destination host.
+                    if ls_fwd is not None:
+                        ls_fwd[ej_base + pk_dst[pid]] += 1
                     if pk_tr[pid] >= 0:
                         tr.event(
                             pk_tr[pid], self._trace_run,
@@ -1009,6 +1061,8 @@ class FastSimulator(Simulator):
                         link_flits[wlink] += 1
                     if ts_links is not None:
                         ts_links[wlink] += 1
+                    if ls_fwd is not None:
+                        ls_fwd[wlink] += 1
                     if pk_tr[pid] >= 0:
                         tr.event(
                             pk_tr[pid], self._trace_run,
@@ -1165,6 +1219,10 @@ class FastSimulator(Simulator):
         return i if hi <= hj else j
 
     # ---------------------------------------------------------------- run
+    def _occupancy_view(self):
+        """Linkstate peak reset reads the live hot-path occupancy list."""
+        return self._occ
+
     def _sync_occupancy(self) -> None:
         """Mirror the hot-path occupancy list into the public array."""
         if self._occ is not self.occupancy:

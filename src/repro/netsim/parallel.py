@@ -37,6 +37,7 @@ from repro.netsim.batchcore import (
 from repro.netsim.config import SimConfig
 from repro.netsim.sweep import saturation_throughput
 from repro.netsim.simulator import PatternTraffic
+from repro.obs import linkstate as obs_linkstate
 from repro.obs import metrics
 from repro.obs import monitor as obs_monitor
 from repro.obs import timeseries as obs_timeseries
@@ -70,11 +71,13 @@ _GRID_STATE: List[Optional[Tuple[Jellyfish, Dict[str, PathCache]]]] = [None]
 _GRID_OBS: List[bool] = [False]
 _GRID_TRACE: List[Optional[dict]] = [None]
 _GRID_TS: List[Optional[dict]] = [None]
+_GRID_LS: List[Optional[dict]] = [None]
 _GRID_HB: List[Optional[obs_monitor.Heartbeater]] = [None]
 
 
 def _grid_init(topo_doc, k, cache_seed, states, obs_enabled=False,
-               trace_cfg=None, ts_cfg=None, mon_sink=None) -> None:
+               trace_cfg=None, ts_cfg=None, ls_cfg=None,
+               mon_sink=None) -> None:
     """Pool initializer: rebuild the topology and warmed caches once."""
     import os
 
@@ -88,6 +91,7 @@ def _grid_init(topo_doc, k, cache_seed, states, obs_enabled=False,
     _GRID_OBS[0] = bool(obs_enabled)
     _GRID_TRACE[0] = dict(trace_cfg) if trace_cfg else None
     _GRID_TS[0] = dict(ts_cfg) if ts_cfg else None
+    _GRID_LS[0] = dict(ls_cfg) if ls_cfg else None
     _GRID_HB[0] = (
         obs_monitor.Heartbeater(mon_sink, worker=os.getpid())
         if mon_sink is not None else None
@@ -96,16 +100,19 @@ def _grid_init(topo_doc, k, cache_seed, states, obs_enabled=False,
 
 def _run_cell(
     args,
-) -> Tuple[GridCell, Optional[dict], Optional[dict], Optional[dict]]:
+) -> Tuple[
+    GridCell, Optional[dict], Optional[dict], Optional[dict], Optional[dict]
+]:
     """Worker: run one saturation sweep against the initializer's state.
 
     Returns the cell plus a metrics snapshot of everything the sweep
     recorded (simulator flit/stall counters, per-link flit arrays, cache
-    hit/miss counts), a flight-recorder snapshot, and a time-series
-    snapshot, each ``None`` when the corresponding subsystem is off.
-    Metric snapshots merge commutatively; trace and time-series snapshots
-    are merged by the parent in task order (``pool.map`` preserves it), so
-    the parent's aggregates are identical for any worker count.
+    hit/miss counts), a flight-recorder snapshot, a time-series snapshot,
+    and a link-state snapshot, each ``None`` when the corresponding
+    subsystem is off.  Metric snapshots merge commutatively; trace,
+    time-series and link-state snapshots are merged by the parent in task
+    order (``pool.map`` preserves it), so the parent's aggregates are
+    identical for any worker count.
     """
     (
         scheme, mechanism, pattern_index, pattern_flows, n_hosts,
@@ -123,14 +130,20 @@ def _run_cell(
 
     trace_cfg = _GRID_TRACE[0]
     ts_cfg = _GRID_TS[0]
+    ls_cfg = _GRID_LS[0]
     hb = _GRID_HB[0]
     if hb is not None:
         hb.task(f"{scheme}/{mechanism} p{pattern_index}")
-    if not _GRID_OBS[0] and trace_cfg is None and ts_cfg is None:
+    if (
+        not _GRID_OBS[0]
+        and trace_cfg is None
+        and ts_cfg is None
+        and ls_cfg is None
+    ):
         cell = GridCell(scheme, mechanism, pattern_index, sweep())
         if hb is not None:
             hb.done()
-        return cell, None, None, None
+        return cell, None, None, None, None
     with ExitStack() as stack:
         reg = (
             stack.enter_context(metrics.capture()) if _GRID_OBS[0] else None
@@ -143,10 +156,15 @@ def _run_cell(
             stack.enter_context(obs_timeseries.capture(**ts_cfg))
             if ts_cfg else None
         )
+        lsr = (
+            stack.enter_context(obs_linkstate.capture(**ls_cfg))
+            if ls_cfg else None
+        )
         if tsr is not None and hb is not None:
             tsr.on_window = hb.window
         th = sweep()
         ts_snap = tsr.snapshot() if tsr is not None else None
+        ls_snap = lsr.snapshot() if lsr is not None else None
     if hb is not None:
         hb.done()
     return (
@@ -154,6 +172,7 @@ def _run_cell(
         reg.snapshot() if reg is not None else None,
         rec.snapshot() if rec is not None else None,
         ts_snap,
+        ls_snap,
     )
 
 
@@ -179,6 +198,7 @@ def _run_cell_batch(chunk):
     topology, caches = _GRID_STATE[0]
     obs_on = _GRID_OBS[0]
     ts_cfg = _GRID_TS[0]
+    ls_cfg = _GRID_LS[0]
     hb = _GRID_HB[0]
     config: SimConfig = chunk[0][6]
     rates = chunk[0][5]
@@ -206,6 +226,7 @@ def _run_cell_batch(chunk):
         group_of[i] = (_scheme, lane_vc_count(topology, caches[_scheme], mech, cfg))
     m_snaps = {i: [] for i in batchable}
     ts_snaps = {i: [] for i in batchable}
+    ls_snaps = {i: [] for i in batchable}
     throughput = {i: 0.0 for i in batchable}
     done = {i: False for i in batchable}
 
@@ -239,7 +260,7 @@ def _run_cell_batch(chunk):
                 batch = BatchSimulator(topology, caches[scheme], lanes, config)
                 results = batch.run(publish=False, observe=obs_on)
                 for j, i in enumerate(pack):
-                    if obs_on or ts_cfg:
+                    if obs_on or ts_cfg or ls_cfg:
                         with ExitStack() as stack:
                             reg = (
                                 stack.enter_context(metrics.capture())
@@ -251,11 +272,19 @@ def _run_cell_batch(chunk):
                                 )
                                 if ts_cfg else None
                             )
+                            lsr = (
+                                stack.enter_context(
+                                    obs_linkstate.capture(**ls_cfg)
+                                )
+                                if ls_cfg else None
+                            )
                             batch.publish_lane(j)
                             if reg is not None:
                                 m_snaps[i].append(reg.snapshot())
                             if tsr is not None:
                                 ts_snaps[i].append(tsr.snapshot())
+                            if lsr is not None:
+                                ls_snaps[i].append(lsr.snapshot())
                     if results[j].saturated:
                         done[i] = True
                     else:
@@ -277,11 +306,18 @@ def _run_cell_batch(chunk):
             for s in ts_snaps[i]:  # rate order = the serial run order
                 tsr.merge(s)
             ts_snap = tsr.snapshot()
+        ls_snap = None
+        if ls_snaps[i]:
+            lsr = obs_linkstate.LinkstateRecorder(**ls_cfg)
+            for s in ls_snaps[i]:  # rate order = the serial run order
+                lsr.merge(s)
+            ls_snap = lsr.snapshot()
         out[i] = (
             GridCell(scheme, mech, pattern_index, throughput[i]),
             snap,
             None,
             ts_snap,
+            ls_snap,
         )
     return out
 
@@ -355,16 +391,17 @@ def run_saturation_grid(
         sink = mon.post if processes == 1 else mon.queue()
     initargs = (
         topo_doc, k, seed, states, metrics.enabled(), obs_trace.config(),
-        obs_timeseries.config(), sink,
+        obs_timeseries.config(), obs_linkstate.config(), sink,
     )
     cells: List[GridCell] = []
 
     def _collect(cell_result):
-        cell, snap, tsnap, ts_snap = cell_result
+        cell, snap, tsnap, ts_snap, ls_snap = cell_result
         cells.append(cell)
         metrics.merge_snapshot(snap)
         obs_trace.merge_snapshot(tsnap)
         obs_timeseries.merge_snapshot(ts_snap)
+        obs_linkstate.merge_snapshot(ls_snap)
         progress.step()
         if mon is not None:
             mon.step()
@@ -388,6 +425,7 @@ def run_saturation_grid(
                 _GRID_OBS[0] = False
                 _GRID_TRACE[0] = None
                 _GRID_TS[0] = None
+                _GRID_LS[0] = None
                 _GRID_HB[0] = None
         else:
             with ProcessPoolExecutor(

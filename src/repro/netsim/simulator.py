@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.cache import PathCache
 from repro.errors import ConfigurationError, SimulationError, TrafficError
 from repro.netsim.config import SimConfig
+from repro.obs import linkstate as obs_linkstate
 from repro.obs import metrics
 from repro.obs import timeseries as obs_timeseries
 from repro.obs import trace as obs_trace
@@ -342,6 +343,44 @@ class Simulator:
             self._wp_stalls = 0
             self._wp_fwd = 0
 
+        # Dense per-window link-state recorder (same fixed-at-construction
+        # discipline).  Tallies are plain lists on the hot path — one
+        # indexed add per forward/stall — copied out at window edges.
+        ls = obs_linkstate.active()
+        if ls is None and config.linkstate:
+            raise ConfigurationError(
+                "SimConfig(linkstate=True) requires an active link-state "
+                "recorder: enable repro.obs.linkstate (or use its capture() "
+                "context) before building the simulator"
+            )
+        self._ls = ls
+        self._ls_run = -1
+        self._ls_start = 0
+        self._ls_next = 0
+        self._inj_link_base = topology.injection_link_base
+        self._ej_link_base = topology.ejection_link_base
+        if ls is not None:
+            self._ls_run = ls.begin_run(
+                scheme=getattr(paths.selector, "name", "unknown"),
+                mechanism=mechanism,
+                rate=self.rate,
+                n_hosts=topology.n_hosts,
+                n_links=topology.n_links,
+                warmup_cycles=config.warmup_cycles,
+                channel_latency=config.channel_latency,
+            )
+            ep = obs_linkstate.link_endpoints(topology)
+            ls.set_link_endpoints(ep["link_src"], ep["link_dst"])
+            nl = topology.n_links
+            self._ls_fwd = [0] * nl
+            self._ls_stall = [0] * nl
+            # Peak is an end-of-cycle maximum (updated once per cycle in
+            # _advance), not a grant-time one: per-grant occupancy reads
+            # depend on within-cycle switch order, which the batched
+            # engine's vectorized grant pass cannot replay.
+            self._ls_peak = np.zeros(nl, dtype=np.int64)
+            self._ls_next = ls.window
+
     # ----------------------------------------------------------- plumbing
     def _buf_idx(self, switch: int, port: int, vc: int) -> int:
         return switch * self._stride_switch + port * self._stride_port + vc
@@ -423,6 +462,8 @@ class Simulator:
         wiring = self.wiring
         tr = self._trace
         tracing = tr is not None
+        ls_on = self._ls is not None
+        inj_base = self._inj_link_base
         stalls = 0
         for h, q in self.source_q.items():
             if not q:
@@ -432,6 +473,8 @@ class Simulator:
             idx = self._buf_idx(sw, inj_port, 0)
             if self.free[idx] <= 0:
                 stalls += 1
+                if ls_on:
+                    self._ls_stall[inj_base + h] += 1
                 if tracing and q[0][-1] >= 0:
                     tr.event(
                         q[0][-1], self._trace_run, obs_trace.EV_CREDIT_STALL,
@@ -459,6 +502,8 @@ class Simulator:
                     switch=sw, port=inj_port, vc=0,
                 )
             self.free[idx] -= 1
+            if ls_on:
+                self._ls_fwd[inj_base + h] += 1
             self._push_arrival(now + cfg.channel_latency, idx, packet)
         self.credit_stalls += stalls
 
@@ -470,6 +515,10 @@ class Simulator:
         tr = self._trace
         tracing = tr is not None
         ts_links = self._ts_link_flits if self._ts is not None else None
+        ls_on = self._ls is not None
+        if ls_on:
+            ls_fwd = self._ls_fwd
+            ls_stall = self._ls_stall
         stalls = 0
         forwarded = 0
         for switch in range(self.topology.n_switches):
@@ -492,6 +541,8 @@ class Simulator:
                     )
                     if self.free[nxt_idx] <= 0:
                         stalls += 1
+                        if ls_on:
+                            ls_stall[wiring.link_of[switch][out_port]] += 1
                         if tracing and packet.trace_id >= 0:
                             tr.event(
                                 packet.trace_id, self._trace_run,
@@ -534,6 +585,8 @@ class Simulator:
                     packet.in_link = -1
 
                 if out_port >= eject_base:
+                    if ls_on:
+                        ls_fwd[self._ej_link_base + packet.dst] += 1
                     if tracing and packet.trace_id >= 0:
                         tr.event(
                             packet.trace_id, self._trace_run,
@@ -554,6 +607,8 @@ class Simulator:
                         self._link_flits[link] += 1
                     if ts_links is not None:
                         ts_links[link] += 1
+                    if ls_on:
+                        ls_fwd[link] += 1
                     if tracing and packet.trace_id >= 0:
                         tr.event(
                             packet.trace_id, self._trace_run,
@@ -576,7 +631,7 @@ class Simulator:
         identical either way, so enabling time series cannot change a
         run's results.
         """
-        if self._ts is None:
+        if self._ts is None and self._ls is None:
             for now in range(start, stop):
                 self._process_arrivals(now)
                 self._inject(now)
@@ -584,17 +639,31 @@ class Simulator:
                 self._allocate(now)
             return
         cur = start
+        ls_on = self._ls is not None
+        if ls_on:
+            ls_peak = self._ls_peak
         while cur < stop:
-            nxt = min(stop, self._win_next)
+            nxt = stop
+            if self._ts is not None:
+                nxt = min(nxt, self._win_next)
+            if ls_on:
+                nxt = min(nxt, self._ls_next)
             for now in range(cur, nxt):
                 self._process_arrivals(now)
                 self._inject(now)
                 self._launch_from_sources(now)
                 self._allocate(now)
+                if ls_on:
+                    # End-of-cycle peak (see __init__): one vector max
+                    # per cycle over the live occupancy.
+                    np.maximum(ls_peak, self._occupancy_view(), out=ls_peak)
             cur = nxt
-            if cur == self._win_next:
+            if self._ts is not None and cur == self._win_next:
                 self._flush_window(cur)
                 self._win_next += self._ts.window
+            if self._ls is not None and cur == self._ls_next:
+                self._flush_ls_window(cur)
+                self._ls_next += self._ls.window
 
     def _flush_window(self, now: int) -> None:
         """Record one time-series row covering ``[_win_start, now)``."""
@@ -621,6 +690,31 @@ class Simulator:
         self._wp_stalls = self.credit_stalls
         self._wp_fwd = self.flits_forwarded
         self._win_start = now
+
+    def _occupancy_view(self):
+        """Live per-link occupancy array (the fast core overrides this)."""
+        return self.occupancy
+
+    def _flush_ls_window(self, now: int) -> None:
+        """Record one dense link-state row covering ``[_ls_start, now)``."""
+        cycles = now - self._ls_start
+        if cycles <= 0:
+            return
+        self._ls.record_window(
+            self._ls_run,
+            start=self._ls_start,
+            cycles=cycles,
+            forwarded=self._ls_fwd,
+            credit_stalls=self._ls_stall,
+            peak_occupancy=self._ls_peak,
+        )
+        nl = len(self._ls_fwd)
+        self._ls_fwd = [0] * nl
+        self._ls_stall = [0] * nl
+        # Peak carries over: the next window opens at the occupancy the
+        # last one closed at.  In place — _advance holds a reference.
+        self._ls_peak[:] = self._occupancy_view()
+        self._ls_start = now
 
     def _run_warmup(self) -> int:
         """Run warmup; returns the cycle measurement starts at.
@@ -727,6 +821,8 @@ class Simulator:
                 measured_samples=n_done,
                 steady_converged=steady,
             )
+        if self._ls is not None:
+            self._flush_ls_window(start)  # the final, possibly partial window
 
         samples = tuple(
             (self._sample_sums[i] / self._sample_counts[i])

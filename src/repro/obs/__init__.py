@@ -17,6 +17,12 @@
 - :mod:`repro.obs.timeseries` — windowed simulator time series (per-window
   injection/ejection/latency/stall/occupancy/top-link rows) plus
   steady-state convergence detection and warmup-sufficiency reports;
+- :mod:`repro.obs.linkstate` — dense per-window link-state matrices
+  (flits forwarded / credit stalls / peak VC occupancy per directed
+  link) across all three engine tiers;
+- :mod:`repro.obs.forensics` — congestion forensics over that record:
+  stall rankings, upstream backpressure trees, path attribution,
+  onset detection, and the ``inspect`` CLI;
 - :mod:`repro.obs.monitor` — live run monitor: worker heartbeats over a
   multiprocessing queue, in-place ANSI dashboard, stale-worker watchdog;
 - :mod:`repro.obs.log` — structured events (stderr + JSONL + handlers);
@@ -33,7 +39,19 @@ Typical embedding use::
     trace.save_trace("run.trace.npz")
 """
 
-from repro.obs import compare, ledger, log, metrics, monitor, timeseries, trace, trend
+from repro.obs import (
+    compare,
+    forensics,
+    ledger,
+    linkstate,
+    log,
+    metrics,
+    monitor,
+    timeseries,
+    trace,
+    trend,
+)
+from repro.obs.linkstate import LinkstateRecorder
 from repro.obs.manifest import build_manifest, topology_hash, write_manifest
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.monitor import Heartbeater, RunMonitor
@@ -43,13 +61,16 @@ from repro.obs.trace import TraceAnalysis, TraceRecorder
 
 __all__ = [
     "compare",
+    "forensics",
     "ledger",
+    "linkstate",
     "log",
     "metrics",
     "monitor",
     "timeseries",
     "trace",
     "trend",
+    "LinkstateRecorder",
     "Heartbeater",
     "MetricsRegistry",
     "Progress",

@@ -133,6 +133,11 @@ def bench_entries(export: Mapping) -> List[dict]:
     benchmark name and whose metric map carries ``timing/mean`` and
     ``timing/min`` in seconds — the quantities ``benchmarks/compare.py``
     gates on, now trendable across every export ever ingested.
+
+    Rows that stamp ``benchmark.extra_info["engines"]`` (the simulator
+    and saturation-grid benchmarks) carry that tier into the entry, so
+    ``runs gate`` scopes them exactly like manifest entries — a batched
+    row is never gated against a per-cell baseline series.
     """
     machine = export.get("machine_info") or {}
     commit = (export.get("commit_info") or {}).get("id")
@@ -140,6 +145,10 @@ def bench_entries(export: Mapping) -> List[dict]:
     entries = []
     for bench in export.get("benchmarks") or ():
         stats = bench.get("stats") or {}
+        extra = bench.get("extra_info") or {}
+        engines = extra.get("engines")
+        if not isinstance(engines, (list, tuple)):
+            engines = ()
         entry = {
             "format": LEDGER_FORMAT,
             "schema_version": LEDGER_SCHEMA_VERSION,
@@ -147,7 +156,7 @@ def bench_entries(export: Mapping) -> List[dict]:
             "experiment": str(bench.get("name", "")),
             "scale": "bench",
             "seed": None,
-            "engines": [],
+            "engines": sorted(str(e) for e in engines),
             "batch_lanes": None,
             "topology_hash": None,
             "host": machine.get("node"),

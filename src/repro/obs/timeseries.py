@@ -104,8 +104,12 @@ class TimeseriesRecorder:
         self._col: Dict[str, np.ndarray] = {
             c: np.zeros(self._cap, dtype=np.int64) for c in WINDOW_COLS
         }
-        self._top_ids = np.full((self._cap, self.top_links), -1, dtype=np.int64)
-        self._top_flits = np.zeros((self._cap, self.top_links), dtype=np.int64)
+        # With top_links=0 the per-window link columns carry no data, so
+        # they stay fixed zero-row stubs: no allocation with capacity,
+        # no copies on growth, nothing folded on merge.
+        rows = self._cap if self.top_links else 0
+        self._top_ids = np.full((rows, self.top_links), -1, dtype=np.int64)
+        self._top_flits = np.zeros((rows, self.top_links), dtype=np.int64)
         self._next_index = 0  # window index within the current run
         #: Optional live hook: called as ``on_window(run_meta, row_dict)``
         #: after every recorded window (the run monitor's heartbeat feed).
@@ -133,12 +137,13 @@ class TimeseriesRecorder:
             grown = np.zeros(cap, dtype=np.int64)
             grown[: self._cap] = arr
             self._col[c] = grown
-        ids = np.full((cap, self.top_links), -1, dtype=np.int64)
-        ids[: self._cap] = self._top_ids
-        self._top_ids = ids
-        flits = np.zeros((cap, self.top_links), dtype=np.int64)
-        flits[: self._cap] = self._top_flits
-        self._top_flits = flits
+        if self.top_links:
+            ids = np.full((cap, self.top_links), -1, dtype=np.int64)
+            ids[: self._cap] = self._top_ids
+            self._top_ids = ids
+            flits = np.zeros((cap, self.top_links), dtype=np.int64)
+            flits[: self._cap] = self._top_flits
+            self._top_flits = flits
         self._cap = cap
 
     def record_window(
@@ -202,8 +207,13 @@ class TimeseriesRecorder:
         }
         for c in WINDOW_COLS:
             snap[f"win_{c}"] = self._col[c][:n].copy()
-        snap["win_top_ids"] = self._top_ids[:n].copy()
-        snap["win_top_flits"] = self._top_flits[:n].copy()
+        if self.top_links:
+            snap["win_top_ids"] = self._top_ids[:n].copy()
+            snap["win_top_flits"] = self._top_flits[:n].copy()
+        else:
+            # Schema-stable zero-width columns: same keys, shape (n, 0).
+            snap["win_top_ids"] = np.full((n, 0), -1, dtype=np.int64)
+            snap["win_top_flits"] = np.zeros((n, 0), dtype=np.int64)
         return snap
 
     def merge(self, snap: Mapping) -> None:
@@ -235,10 +245,13 @@ class TimeseriesRecorder:
             if c == "run":
                 vals = vals + run_off
             self._col[c][row : row + n] = vals
-        self._top_ids[row : row + n] = np.asarray(snap["win_top_ids"], dtype=np.int64)
-        self._top_flits[row : row + n] = np.asarray(
-            snap["win_top_flits"], dtype=np.int64
-        )
+        if self.top_links:
+            self._top_ids[row : row + n] = np.asarray(
+                snap["win_top_ids"], dtype=np.int64
+            )
+            self._top_flits[row : row + n] = np.asarray(
+                snap["win_top_flits"], dtype=np.int64
+            )
         self.n_windows += n
 
 

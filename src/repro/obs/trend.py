@@ -46,6 +46,8 @@ functions of the ledger contents.
 from __future__ import annotations
 
 import argparse
+import csv
+import io
 import json
 import sys
 from dataclasses import dataclass, field
@@ -57,9 +59,11 @@ from repro.errors import ComparisonError
 from repro.obs.ledger import default_ledger_path, load_entries, series_key
 
 __all__ = [
+    "EXPORT_COLUMNS",
     "MetricTrend",
     "TrendReport",
     "analyze_entries",
+    "export_csv",
     "main",
 ]
 
@@ -250,6 +254,45 @@ def analyze_entries(
     return report
 
 
+# ---------------------------------------------------------------- export
+
+#: Fixed column order of ``runs export --csv`` — downstream notebooks and
+#: spreadsheets key on positions, so this tuple is append-only.
+EXPORT_COLUMNS = (
+    "id", "created_at", "kind", "experiment", "scale", "host",
+    "engines", "batch_lanes", "seed", "metric", "value",
+)
+
+
+def export_csv(entries: Sequence[Mapping]) -> str:
+    """Flatten ledger entries into CSV text: one row per (entry, metric).
+
+    The export is a pure function of the ledger contents — entries keep
+    their load order, metrics sort by name within an entry, ``engines``
+    joins with ``";"``, and values use ``repr(float)`` — so two exports
+    of the same ledger are byte-identical.
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(EXPORT_COLUMNS)
+    for entry in entries:
+        head = [
+            entry.get("id", ""),
+            entry.get("created_at", ""),
+            entry.get("kind", ""),
+            entry.get("experiment", ""),
+            entry.get("scale", ""),
+            entry.get("host", ""),
+            ";".join(str(e) for e in entry.get("engines") or ()),
+            entry.get("batch_lanes"),
+            entry.get("seed"),
+        ]
+        metrics = entry.get("metrics") or {}
+        for name in sorted(metrics):
+            writer.writerow(head + [name, repr(float(metrics[name]))])
+    return buf.getvalue()
+
+
 # ---------------------------------------------------------------- CLI
 
 
@@ -346,6 +389,19 @@ def main(argv=None) -> int:
     _add_common(p_gate)
     _add_trend_options(p_gate)
 
+    p_export = sub.add_parser(
+        "export", help="flatten the ledger to CSV (one row per metric)"
+    )
+    _add_common(p_export)
+    p_export.add_argument(
+        "--csv", action="store_true", required=True,
+        help="CSV format (the only format; the flag keeps room for more)",
+    )
+    p_export.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="write to FILE instead of stdout",
+    )
+
     p_dash = sub.add_parser(
         "dashboard", help="write the static HTML fleet dashboard"
     )
@@ -391,6 +447,16 @@ def main(argv=None) -> int:
             )
             return 2
         print(json.dumps(matches[0], indent=2, sort_keys=True))
+        return 0
+
+    if args.command == "export":
+        text = export_csv(entries)
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(text)
+            print(f"# csv: {args.out}")
+        else:
+            sys.stdout.write(text)
         return 0
 
     report = _analyze(args, entries)

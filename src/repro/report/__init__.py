@@ -9,20 +9,24 @@ machine-readable exports for downstream analysis.
 from repro.report.ascii import (
     bar_chart,
     colorize,
+    congestion_tree_text,
     latency_decomposition_table,
     ledger_table,
     line_chart,
     link_load_report,
+    linkstate_heatmap,
     path_share_table,
     profile_hotspots_table,
     render_dashboard,
     sparkline,
     stage_timing_table,
+    stall_attribution_table,
     supports_ansi,
     term_width,
     trend_table,
 )
 from repro.report.export import (
+    forensics_html,
     result_to_csv,
     result_to_json,
     save_result,
@@ -32,18 +36,22 @@ from repro.report.export import (
 __all__ = [
     "bar_chart",
     "colorize",
+    "congestion_tree_text",
     "ledger_table",
     "line_chart",
     "link_load_report",
+    "linkstate_heatmap",
     "latency_decomposition_table",
     "path_share_table",
     "profile_hotspots_table",
     "render_dashboard",
     "sparkline",
     "stage_timing_table",
+    "stall_attribution_table",
     "supports_ansi",
     "term_width",
     "trend_table",
+    "forensics_html",
     "result_to_csv",
     "result_to_json",
     "save_result",

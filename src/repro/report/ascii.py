@@ -37,6 +37,9 @@ __all__ = [
     "profile_hotspots_table",
     "ledger_table",
     "trend_table",
+    "linkstate_heatmap",
+    "stall_attribution_table",
+    "congestion_tree_text",
     "supports_ansi",
     "term_width",
     "colorize",
@@ -410,6 +413,112 @@ def ledger_table(
         title=title,
     )
     return out + f"\n{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}"
+
+
+# --------------------------------------------------- congestion forensics
+_HEAT_SHADES = " .:-=+*#"
+
+
+def linkstate_heatmap(
+    rows: Sequence[Sequence[int]],
+    row_labels: Sequence[str],
+    *,
+    max_cols: int = 64,
+    title: str = "link-state heatmap",
+) -> str:
+    """Render per-link window series as a links-by-windows shade grid.
+
+    ``rows[i][w]`` is link ``i``'s value in window ``w``; all rows share
+    one global scale (blank = 0 up to ``#`` = the grid maximum).  When
+    there are more windows than ``max_cols``, adjacent windows collapse
+    into fixed bins by maximum, so a long run still fits one screen.
+    Deterministic: no terminal queries, fixed shade alphabet.
+    """
+    if len(rows) != len(row_labels):
+        raise ConfigurationError(
+            f"{len(rows)} rows but {len(row_labels)} labels"
+        )
+    if not rows:
+        return f"{title}: (no links)"
+    grid = np.asarray([list(r) for r in rows], dtype=np.int64)
+    n_windows = grid.shape[1]
+    if n_windows > max_cols:
+        bins = np.array_split(np.arange(n_windows), max_cols)
+        grid = np.stack([grid[:, b].max(axis=1) for b in bins], axis=1)
+    hi = int(grid.max())
+    top = len(_HEAT_SHADES) - 1
+    width = max(len(lab) for lab in row_labels)
+    lines = [title] if title else []
+    for label, row in zip(row_labels, grid):
+        if hi == 0:
+            shades = " " * len(row)
+        else:
+            # 0 stays blank; anything non-zero gets at least the
+            # faintest shade.
+            idx = np.ceil(row / hi * top).astype(np.int64)
+            shades = "".join(_HEAT_SHADES[int(i)] for i in idx)
+        lines.append(f"   {label.ljust(width)} |{shades}|")
+    axis = f"window 0..{n_windows - 1}"
+    if n_windows > max_cols:
+        axis += f" ({grid.shape[1]} bins, max-pooled)"
+    lines.append(f"   {' ' * width}  {axis}; scale blank=0 .. '#'={hi}")
+    return "\n".join(lines)
+
+
+def stall_attribution_table(
+    ranked: Sequence[Mapping],
+    *,
+    title: str = "credit-stall attribution (hottest links)",
+) -> str:
+    """Tabulate :func:`repro.obs.forensics.rank_stalled_links` output."""
+    if not ranked:
+        return f"{title}: (no stalls recorded)"
+    rows = [
+        [
+            f"#{int(e['link'])}",
+            str(e["label"]),
+            int(e["credit_stalls"]),
+            f"{100.0 * float(e['share']):.1f}%",
+            int(e["forwarded"]),
+            int(e["peak_occupancy"]),
+        ]
+        for e in ranked
+    ]
+    return format_table(
+        ["link", "endpoints", "stalls", "share", "forwarded", "peak occ"],
+        rows,
+        title=title,
+    )
+
+
+def congestion_tree_text(
+    tree: Mapping,
+    *,
+    title: str = "backpressure tree (stall wave, downstream root to upstream leaves)",
+) -> str:
+    """Render a :func:`repro.obs.forensics.congestion_tree` as text.
+
+    The root is the saturated link; each ``<-`` level is one hop further
+    upstream — the links stalled because the level below them could not
+    drain.
+    """
+    lines = [title] if title else []
+
+    def emit(node: Mapping, depth: int) -> None:
+        indent = "   " + "   " * depth
+        arrow = "<- " if depth else ""
+        lines.append(
+            f"{indent}{arrow}{node['label']}  "
+            f"stalls={int(node['credit_stalls'])} "
+            f"({100.0 * float(node['share']):.1f}%)  "
+            f"fwd={int(node['forwarded'])}  "
+            f"peak={int(node['peak_occupancy'])}"
+        )
+        for child in node.get("children", ()):
+            emit(child, depth + 1)
+
+    emit(tree, 0)
+    return "\n".join(lines)
 
 
 #: Metric prefixes shown by default in trend tables (the gated families).

@@ -18,6 +18,7 @@ __all__ = [
     "result_to_csv",
     "save_result",
     "trend_dashboard_html",
+    "forensics_html",
 ]
 
 
@@ -321,6 +322,233 @@ def trend_dashboard_html(report, entries: Sequence[Mapping]) -> str:
             "</div>"
         )
     out.append("</div>")
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"
+
+
+# -------------------------------------------------- forensics deep dive
+def _heat_svg(
+    rows: Sequence[Sequence[float]],
+    labels: Sequence[str],
+    *,
+    hue: str = "var(--series)",
+    unit: str = "flits",
+    max_cols: int = 128,
+) -> str:
+    """A links-by-windows heatmap as inline SVG (one shared scale).
+
+    Cell opacity encodes the value (quantized, deterministic); empty
+    cells are zero.  NaN values (gaps in a latency strip) render as
+    hollow outline cells.  Long runs max-pool into ``max_cols`` bins.
+    Native ``<title>`` tooltips carry the exact numbers.
+    """
+    grid = [[float(v) for v in r] for r in rows]
+    n_cols = len(grid[0]) if grid else 0
+    binned = False
+    if n_cols > max_cols:
+        import numpy as _np
+
+        idx_bins = _np.array_split(_np.arange(n_cols), max_cols)
+        grid = [
+            [
+                float(_np.nanmax(_np.asarray(r)[b]))
+                if not _np.all(_np.isnan(_np.asarray(r)[b]))
+                else float("nan")
+                for b in idx_bins
+            ]
+            for r in grid
+        ]
+        n_cols = max_cols
+        binned = True
+    finite = [v for r in grid for v in r if v == v]
+    hi = max(finite) if finite else 0.0
+    label_w, rh, gap = 96, 14, 2
+    cw = round(520.0 / max(1, n_cols), 3)
+    w = label_w + 524
+    h = (rh + gap) * len(grid) + 16
+    parts = [
+        f'<svg viewBox="0 0 {w} {h}" role="img" '
+        f'aria-label="heatmap over {n_cols} windows">'
+    ]
+    for i, (label, row) in enumerate(zip(labels, grid)):
+        y = i * (rh + gap)
+        parts.append(
+            f'<text x="{label_w - 6}" y="{y + rh - 3}" text-anchor="end">'
+            f"{_html.escape(str(label))}</text>"
+        )
+        for j, v in enumerate(row):
+            x = round(label_w + j * cw, 3)
+            tip = (
+                f"{label} · window {j}: "
+                + ("no data" if v != v else f"{_fmt(v)} {unit}")
+            )
+            if v != v:  # NaN gap
+                parts.append(
+                    f'<rect x="{x}" y="{y}" width="{round(cw, 3)}" '
+                    f'height="{rh}" fill="none" stroke="var(--grid)" '
+                    f'stroke-width="0.5"><title>{_html.escape(tip)}</title>'
+                    "</rect>"
+                )
+                continue
+            op = 0.0 if v == 0 or hi == 0 else round(0.12 + 0.88 * v / hi, 3)
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{round(cw, 3)}" '
+                f'height="{rh}" fill="{hue}" fill-opacity="{op}">'
+                f"<title>{_html.escape(tip)}</title></rect>"
+            )
+    foot = f"window 0..{n_cols - 1}"
+    if binned:
+        foot += " (max-pooled)"
+    parts.append(
+        f'<text x="{label_w}" y="{h - 3}">{foot} · scale 0..{_fmt(hi)} '
+        f"{_html.escape(unit)}</text>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _tree_html(node: Mapping) -> str:
+    """Nested list rendering of a backpressure tree node."""
+    esc = _html.escape
+    label = (
+        f"<strong>{esc(str(node['label']))}</strong> — "
+        f"{int(node['credit_stalls'])} stalls "
+        f"({100.0 * float(node['share']):.1f}%), "
+        f"peak occupancy {int(node['peak_occupancy'])}"
+    )
+    children = node.get("children") or ()
+    if not children:
+        return f"<li>{label}</li>"
+    inner = "".join(_tree_html(c) for c in children)
+    return f"<li>{label}<ul>{inner}</ul></li>"
+
+
+def forensics_html(docs: Sequence[Mapping]) -> str:
+    """Render the per-run congestion deep dive as self-contained HTML.
+
+    ``docs`` is a sequence of documents from
+    :func:`repro.obs.forensics.deep_dive_docs` (one per link-state
+    artifact).  Sections per run: headline tiles, the link-by-window
+    forwarded heatmap, the credit-stall heatmap, the backpressure tree
+    callout, the per-window latency strip (when a matching time series
+    was recorded), the stall ranking table, and traced path
+    attribution.  Pure function of its inputs — no timestamps, no
+    randomness — so the page is byte-identical across renders.
+    """
+    esc = _html.escape
+    out: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8"/>',
+        "<title>repro · congestion deep dive</title>",
+        f"<style>{_DASH_CSS}</style></head><body>",
+        "<h1>Congestion forensics — per-run deep dive</h1>",
+        '<p class="sub">Dense link-state telemetry: where the flits '
+        "went, where the credit stalls piled up, and which upstream "
+        "links the backpressure wave reached.</p>",
+    ]
+    for doc in docs:
+        out.append(f"<h2>{esc(str(doc['name']))}</h2>")
+        out.append('<div class="tiles">')
+        for label, value in (
+            ("Runs", str(len(doc["runs"]))),
+            ("Windows", str(int(doc["n_windows"]))),
+            ("Window cycles", str(int(doc["window"]))),
+            ("Links", str(int(doc["n_links"]))),
+        ):
+            out.append(
+                f'<div class="tile"><div class="label">{esc(label)}</div>'
+                f'<div class="value">{esc(value)}</div></div>'
+            )
+        out.append("</div>")
+        for run in doc["runs"]:
+            out.append(
+                f"<h2>run {int(run['run'])} · {esc(str(run['label']))}</h2>"
+            )
+            onset = run.get("onset")
+            stall_cls = "bad" if run["stall_total"] else "ok"
+            out.append('<div class="tiles">')
+            for label, value, cls in (
+                ("Windows", str(int(run["n_windows"])), ""),
+                ("Flits forwarded", _fmt(float(run["forwarded_total"])), ""),
+                ("Credit stalls", _fmt(float(run["stall_total"])), stall_cls),
+                ("Peak occupancy", str(int(run["peak_max"])), ""),
+            ):
+                out.append(
+                    f'<div class="tile"><div class="label">{esc(label)}'
+                    f'</div><div class="value {cls}">{esc(value)}</div></div>'
+                )
+            out.append("</div>")
+            if onset is not None:
+                out.append(
+                    f'<div class="callout"><span class="tag">congestion '
+                    f"onset</span> window {int(onset['onset_window'])} "
+                    f"(cycle {int(onset['onset_cycle'])}) — sustained "
+                    f"stall plateau {onset['plateau']:.1f}/window</div>"
+                )
+            tree = run.get("tree")
+            if tree is not None:
+                out.append(
+                    '<div class="callout"><span class="tag">backpressure '
+                    "tree</span> saturated link and the upstream stall "
+                    f"wave:<ul>{_tree_html(tree)}</ul></div>"
+                )
+            if run["heat_rows"]:
+                out.append(
+                    '<div class="card"><div class="name">flits forwarded '
+                    "per window</div>"
+                    + _heat_svg(
+                        run["heat_rows"], run["heat_labels"], unit="flits"
+                    )
+                    + "</div>"
+                )
+                out.append(
+                    '<div class="card"><div class="name">credit stalls '
+                    "per window</div>"
+                    + _heat_svg(
+                        run["stall_rows"],
+                        run["heat_labels"],
+                        hue="var(--critical)",
+                        unit="stalls",
+                    )
+                    + "</div>"
+                )
+            latency = run.get("latency")
+            if latency:
+                out.append(
+                    '<div class="card"><div class="name">mean packet '
+                    "latency per window (cycles)</div>"
+                    + _heat_svg([latency], ["latency"], unit="cycles")
+                    + "</div>"
+                )
+            ranked = run.get("ranked") or ()
+            if ranked:
+                out.append(
+                    "<details><summary>credit-stall ranking</summary>"
+                    "<table><tr><th>link</th><th>endpoints</th>"
+                    "<th>stalls</th><th>share</th><th>forwarded</th>"
+                    "<th>peak occ</th></tr>"
+                    + "".join(
+                        f"<tr><td>#{int(e['link'])}</td>"
+                        f"<td>{esc(str(e['label']))}</td>"
+                        f"<td>{int(e['credit_stalls'])}</td>"
+                        f"<td>{100.0 * float(e['share']):.1f}%</td>"
+                        f"<td>{int(e['forwarded'])}</td>"
+                        f"<td>{int(e['peak_occupancy'])}</td></tr>"
+                        for e in ranked
+                    )
+                    + "</table></details>"
+                )
+            hot_paths = run.get("hot_paths") or ()
+            for hp in hot_paths:
+                parts = ", ".join(
+                    f"{esc(str(p['series']))} path#{int(p['path_index'])}: "
+                    f"{int(p['count'])}"
+                    for p in hp["paths"]
+                )
+                out.append(
+                    f'<p class="sub">{esc(str(hp["label"]))}: '
+                    f"{int(hp['packets'])} traced crossings — {parts}</p>"
+                )
     out.append("</body></html>")
     return "\n".join(out) + "\n"
 

@@ -41,7 +41,9 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.netsim import SimConfig, Simulator, UniformTraffic, PatternTraffic
 from repro.netsim.batchcore import BatchLane, BatchSimulator
 from repro.netsim.fastcore import FastSimulator
+from repro.netsim.parallel import run_saturation_grid
 from repro.obs import metrics, timeseries, trace
+from repro.obs.trace import TraceAnalysis
 from repro.traffic import random_permutation
 
 CYCLES = dict(warmup_cycles=60, sample_cycles=60, n_samples=2)
@@ -264,6 +266,42 @@ class TestTelemetryEquivalence:
                 sim.run()
                 solo = self._strip_engine_keys(reg.snapshot())
             assert splits[i] == solo, f"lane {i} split diverged"
+
+
+class TestTracedGridFallback:
+    """Tracing forces the per-cell engine without losing correctness.
+
+    The batched engine refuses the flight recorder (per-packet events
+    would interleave across lanes), so a traced grid under a
+    ``batch_lanes > 1`` config falls back to per-cell runs.  The route-
+    membership audit must pass over every packet traced through that
+    fallback, and the grid numbers must equal the untraced batched run.
+    """
+
+    def test_route_audit_passes_under_batched_config(self):
+        topo = _topo()
+        pats = [random_permutation(topo.n_hosts, seed=5)]
+        cfg = SimConfig(**CYCLES, batch_lanes=4)
+        kw = dict(k=4, rates=(0.3, 0.5), config=cfg, seed=1, processes=1)
+        with trace.capture(sample=16) as rec:
+            traced_grid = run_saturation_grid(
+                topo, ["redksp"], ["ksp_adaptive", "ksp_ugal"], pats, **kw
+            )
+            snap = rec.snapshot()
+        assert snap["n_packets"] > 0
+        assert snap["packets_dropped"] == 0 and snap["events_dropped"] == 0
+        # The grid warms its caches with PathCache(topo, scheme, k, seed).
+        cache = PathCache(topo, "redksp", k=4, seed=1)
+        ana = TraceAnalysis(snap)
+        assert ana.audit_routes(paths={"redksp": cache}, topology=topo) == []
+        # Restricted mechanisms never route off the path table.
+        for dist in ana.path_shares().values():
+            assert -1 not in dist
+        # The same grid untraced batches its lanes; numbers must agree.
+        plain_grid = run_saturation_grid(
+            topo, ["redksp"], ["ksp_adaptive", "ksp_ugal"], pats, **kw
+        )
+        assert traced_grid == plain_grid
 
 
 class TestLaneMasking:

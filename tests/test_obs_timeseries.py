@@ -140,6 +140,34 @@ class TestRecorder:
         with pytest.raises(ConfigurationError):
             TimeseriesRecorder(top_links=-1)
 
+    def test_top_links_zero_skips_link_columns(self):
+        """``top_links=0`` must not allocate, grow, or merge link columns.
+
+        The stubs stay zero-row through growth and merge; the snapshot
+        still carries schema-stable ``win_top_*`` keys of shape (n, 0).
+        """
+        rec = TimeseriesRecorder(window=10, capacity=1, top_links=0)
+        assert rec._top_ids.shape == (0, 0)
+        assert rec._top_flits.shape == (0, 0)
+        run = rec.begin_run()
+        for i in range(4):  # forces growth past the 1-row capacity
+            rec.record_window(
+                run, start=10 * i, cycles=10, injected=i, ejected=i,
+                lat_sum=i, credit_stalls=0, forwarded=i, occupancy=0,
+                link_flits=[5, 1, 3],
+            )
+        assert rec._top_ids.shape == (0, 0)  # untouched by _grow_to
+        snap = rec.snapshot()
+        assert snap["win_top_ids"].shape == (4, 0)
+        assert snap["win_top_flits"].shape == (4, 0)
+        parent = TimeseriesRecorder(window=10, top_links=0)
+        parent.merge(snap)
+        assert parent._top_ids.shape == (0, 0)
+        merged = parent.snapshot()
+        assert merged["n_windows"] == 4
+        assert merged["win_top_ids"].shape == (4, 0)
+        assert merged["win_injected"].tolist() == [0, 1, 2, 3]
+
     def test_on_window_hook_sees_meta_and_row(self):
         rec = TimeseriesRecorder(window=10)
         seen = []
@@ -413,8 +441,8 @@ def test_parallel_grid_timeseries_byte_identical_to_serial(topo, tmp_path):
     assert digests[1] == digests[2]
 
 
-def test_grid_without_timeseries_still_returns_three_none(topo):
-    # The no-telemetry fast path ships (cell, None, None, None).
+def test_grid_without_timeseries_still_returns_four_none(topo):
+    # The no-telemetry fast path ships (cell, None, None, None, None).
     from repro.netsim import parallel
     from repro.topology.serialization import topology_to_dict
 
@@ -429,15 +457,16 @@ def test_grid_without_timeseries_still_returns_three_none(topo):
     )
     try:
         cfg = SimConfig(warmup_cycles=20, sample_cycles=20, n_samples=1)
-        cell, m, t, ts = parallel._run_cell(
+        cell, m, t, ts, ls = parallel._run_cell(
             ("ksp", "random", 0, pattern.flows, pattern.n_hosts,
              (0.2,), cfg, (9, 0))
         )
-        assert m is None and t is None and ts is None
+        assert m is None and t is None and ts is None and ls is None
         assert cell.scheme == "ksp"
     finally:
         parallel._GRID_STATE[0] = None
         parallel._GRID_OBS[0] = False
         parallel._GRID_TRACE[0] = None
         parallel._GRID_TS[0] = None
+        parallel._GRID_LS[0] = None
         parallel._GRID_HB[0] = None

@@ -232,6 +232,41 @@ def test_runs_cli_reachable_through_runner(tmp_path, capsys):
     assert "no trend regressions" in capsys.readouterr().out
 
 
+def test_cli_export_csv_is_pinned(tmp_path, capsys):
+    """``runs export --csv``: fixed column order, one row per metric."""
+    entries = [
+        _entry(0, timing=1.5, cps=2.0e5),
+        _entry(1, timing=0.25, experiment="bench_yen", kind="bench",
+               scale="bench", host="vm", engines=()),
+    ]
+    path = _write_ledger(tmp_path, entries)
+    assert runs_main(["export", "--csv", "--ledger", path]) == 0
+    out = capsys.readouterr().out
+    lines = out.splitlines()
+    assert lines[0] == (
+        "id,created_at,kind,experiment,scale,host,engines,"
+        "batch_lanes,seed,metric,value"
+    )
+    # One row per (entry, metric), metrics sorted by name within entry.
+    assert len(lines) == 1 + 3
+    assert lines[1] == (
+        f"{entries[0]['id']},2026-08-01T00:00:00+00:00,manifest,fig9,"
+        "small,ci,fast,,,gauge/netsim.cycles_per_sec/fast,200000.0"
+    )
+    assert lines[2].endswith("timing/experiment.stage,1.5")
+    assert lines[3] == (
+        f"{entries[1]['id']},2026-08-01T00:00:01+00:00,bench,bench_yen,"
+        "bench,vm,,,,timing/experiment.stage,0.25"
+    )
+
+    # --out writes the same bytes to a file.
+    out_file = tmp_path / "sub" / "runs.csv"
+    assert runs_main(
+        ["export", "--csv", "--ledger", path, "--out", str(out_file)]
+    ) == 0
+    assert out_file.read_text() == out
+
+
 # ------------------------------------------------------- determinism
 
 def _fixture_entries():
