@@ -12,6 +12,7 @@ from repro import Jellyfish, PathCache
 from repro.appsim.fairshare import maxmin_rates
 from repro.core.yen import k_shortest_paths
 from repro.netsim import SimConfig, Simulator, UniformTraffic, run_saturation_grid
+from repro.obs import flowstats
 from repro.obs import linkstate
 from repro.obs import metrics
 from repro.obs import timeseries
@@ -334,3 +335,35 @@ def test_perf_simulator_cycles_linkstate(benchmark):
     r = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
     assert r.delivered > 0
     assert not linkstate.enabled()
+
+
+@pytest.mark.obs
+def test_perf_simulator_cycles_flowstats(benchmark):
+    """The same workload with the per-pair flow-stats recorder on.
+
+    The flow-SLO perf guard: ``--flowstats`` tags every measured ejection
+    with its (src, dst) pair and folds the per-run latency lists into
+    dense per-pair columns plus an exact latency histogram at end of run.
+    The CI perf-smoke job gates this row against the plain
+    ``test_perf_simulator_cycles`` run and fails when the enabled-mode
+    overhead exceeds 10%.
+    """
+    assert not flowstats.enabled()
+    benchmark.extra_info["engines"] = ["fast"]
+    topo = Jellyfish(12, 10, 6, seed=7)
+    cache = PathCache(topo, "redksp", k=4, seed=1)
+    cfg = SimConfig(warmup_cycles=100, sample_cycles=100, n_samples=2)
+
+    def run():
+        with flowstats.capture() as rec:
+            sim = Simulator(
+                topo, cache, "ksp_adaptive", UniformTraffic(topo.n_hosts),
+                0.5, cfg, seed=0,
+            )
+            result = sim.run()
+        assert len(rec.runs) > 0
+        return result
+
+    r = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert r.delivered > 0
+    assert not flowstats.enabled()

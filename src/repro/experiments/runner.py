@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Callable, Dict
 
 from repro.errors import ConfigurationError
+from repro.obs import flowstats as obs_flowstats
 from repro.obs import linkstate as obs_linkstate
 from repro.obs import log as obs_log
 from repro.obs import metrics
@@ -130,6 +131,11 @@ def main(argv=None) -> int:
         from repro.obs.forensics import main as inspect_main
 
         return inspect_main(argv[1:])
+    if argv and argv[0] == "flows":
+        # Sub-command: flow-level SLO observatory over per-pair telemetry.
+        from repro.obs.fairness import main as flows_main
+
+        return flows_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -211,6 +217,14 @@ def main(argv=None) -> int:
         "(requires --telemetry-dir)",
     )
     parser.add_argument(
+        "--flowstats",
+        action="store_true",
+        help="enable per-(src,dst) flow telemetry (delivered count, "
+        "latency sum/max and an exact per-pair latency histogram); "
+        "writes <experiment>-<scale>.flowstats.npz — the input of "
+        "'flows' (requires --telemetry-dir)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="run each experiment under cProfile; writes "
@@ -267,6 +281,8 @@ def main(argv=None) -> int:
             parser.error("--linkstate window must be >= 1")
         if telemetry_dir is None:
             parser.error("--linkstate requires --telemetry-dir")
+    if args.flowstats and telemetry_dir is None:
+        parser.error("--flowstats requires --telemetry-dir")
     if args.profile and telemetry_dir is None:
         parser.error("--profile requires --telemetry-dir")
     if args.run_ledger is not None and telemetry_dir is None:
@@ -304,6 +320,8 @@ def main(argv=None) -> int:
                     obs_timeseries.enable(window=args.timeseries_window)
                 if args.linkstate is not None:
                     obs_linkstate.enable(window=args.linkstate)
+                if args.flowstats:
+                    obs_flowstats.enable()
                 obs_log.open_jsonl(
                     telemetry_dir / f"{name}-{args.scale}.events.jsonl"
                 )
@@ -350,6 +368,7 @@ def main(argv=None) -> int:
         obs_trace.disable()
         obs_timeseries.disable()
         obs_linkstate.disable()
+        obs_flowstats.disable()
         obs_monitor.disable()
         obs_log.close_jsonl()
     return 0
@@ -368,6 +387,12 @@ def _emit_telemetry(
     ls_path = None
     if args.linkstate is not None:
         ls_path = _emit_linkstate(name, args, telemetry_dir)
+    # Flowstats must land before the metrics snapshot: the derived SLO
+    # gauges (fairness, worst-pair p99) are stamped into the still-active
+    # registry so they reach the manifest and the ledger.
+    fs_path = None
+    if args.flowstats:
+        fs_path = _emit_flowstats(name, args, telemetry_dir)
     profile_path = None
     if profiler is not None:
         profile_path = _emit_profile(name, args, telemetry_dir, profiler)
@@ -383,6 +408,7 @@ def _emit_telemetry(
             "trace_sample": args.trace_sample,
             "timeseries_window": args.timeseries_window,
             "linkstate": args.linkstate,
+            "flowstats": args.flowstats,
             "steady_state": args.steady_state,
             "batch_lanes": args.batch_lanes,
             "profile": args.profile,
@@ -420,6 +446,12 @@ def _emit_telemetry(
         print(f"# linkstate: {ls_path}")
         print(
             f"# inspect it: python -m repro.experiments inspect "
+            f"{telemetry_dir}"
+        )
+    if fs_path is not None:
+        print(f"# flowstats: {fs_path}")
+        print(
+            f"# flow SLOs:  python -m repro.experiments flows "
             f"{telemetry_dir}"
         )
     if profile_path is not None:
@@ -520,6 +552,37 @@ def _emit_linkstate(name: str, args, telemetry_dir: Path):
         windows=int(snap["n_windows"]),
     )
     return ls_path
+
+
+def _emit_flowstats(name: str, args, telemetry_dir: Path):
+    """Persist the per-pair flow record and stamp its derived SLO gauges.
+
+    Returns the artifact path, or None when nothing was recorded.  The
+    worst-run Jain index and worst pair p99 go into the *still-active*
+    registry so the manifest snapshot taken right after includes them.
+    """
+    from repro.obs.fairness import snapshot_gauges
+    from repro.obs.flowstats import save_flowstats
+
+    snap = obs_flowstats.snapshot()
+    obs_flowstats.disable()
+    if snap is None or not snap["n_runs"]:
+        return None
+    fs_path = telemetry_dir / f"{name}-{args.scale}.flowstats.npz"
+    save_flowstats(fs_path, snap)
+    reg = metrics.active()
+    if reg is not None:
+        for gname, value in sorted(snapshot_gauges(snap).items()):
+            g = reg.gauge(gname)
+            g.set(max(g.value, value))
+    obs_log.info(
+        "flowstats_written",
+        experiment=name,
+        path=str(fs_path),
+        runs=int(snap["n_runs"]),
+        pairs=int(snap["n_pairs"]),
+    )
+    return fs_path
 
 
 def _emit_trace(name: str, args, telemetry_dir: Path) -> None:

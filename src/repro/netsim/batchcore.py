@@ -72,11 +72,13 @@ from repro.netsim.config import SimConfig
 from repro.netsim.fastcore import _tables_for, draw_batch
 from repro.netsim.mechanisms import make_mechanism
 from repro.netsim.network import NetworkWiring
+from repro.netsim.stats import latency_percentiles, stamp_latency_gauges
 from repro.netsim.simulator import (
     PatternTraffic,
     SimResult,
     UniformTraffic,
 )
+from repro.obs import flowstats as obs_flowstats
 from repro.obs import linkstate as obs_linkstate
 from repro.obs import metrics
 from repro.obs import timeseries as obs_timeseries
@@ -298,6 +300,7 @@ class BatchSimulator:
         self._pk_dst = z()
         self._pk_dest = z()
         self._pk_lane = z()
+        self._pk_src = z()
         self._pk_n = 0
         self._pk_free: List[int] = []
 
@@ -480,6 +483,34 @@ class BatchSimulator:
         else:
             self._ls_fwd = self._ls_stall = self._ls_peak = None
 
+        # Per-(src,dst) flow capture: ejections tally their pair id next
+        # to the measured-latency samples, split per lane and replayed
+        # into the recorder at publish time like the rows above.
+        fsr = obs_flowstats.active()
+        if fsr is None and config.flowstats:
+            raise ConfigurationError(
+                "SimConfig(flowstats=True) requires an active flow-stats "
+                "recorder: enable repro.obs.flowstats (or use its capture() "
+                "context) before building the batched engine"
+            )
+        self._fs_on = fsr is not None
+        self._mlat_pair: List[int] = []
+        if self._fs_on:
+            self._fs_ep = obs_flowstats.pair_endpoints(n_hosts)
+            self._fs_meta = [
+                dict(
+                    scheme=scheme,
+                    mechanism=self._mech_names[i],
+                    rate=self._rates[i],
+                    n_hosts=n_hosts,
+                    n_pairs=n_hosts * n_hosts,
+                    n_bins=obs_flowstats.latency_bins(config),
+                    warmup_cycles=config.warmup_cycles,
+                    channel_latency=config.channel_latency,
+                )
+                for i in range(N)
+            ]
+
         # Allocation scratch reused across slots and cycles.
         self._port_cands: List[List[Tuple[int, int]]] = [
             [] for _ in range(self.n_ports)
@@ -546,7 +577,7 @@ class BatchSimulator:
             cap *= 2
         for name in (
             "_pk_rid", "_pk_hop", "_pk_t0", "_pk_link",
-            "_pk_dst", "_pk_dest", "_pk_lane",
+            "_pk_dst", "_pk_dest", "_pk_lane", "_pk_src",
         ):
             grown = np.zeros(cap, dtype=np.int64)
             old = getattr(self, name)
@@ -623,6 +654,13 @@ class BatchSimulator:
                 self._sample_counts[:, s] += ecnt
                 self._mlat_lane.extend(elanes.tolist())
                 self._mlat_val.extend(lat.tolist())
+                if self._fs_on:
+                    self._mlat_pair.extend(
+                        (
+                            self._pk_src[epids] * self._n_hostsG
+                            + self._pk_dst[epids]
+                        ).tolist()
+                    )
             self._pk_free.extend(epids.tolist())
         enq = ~ej
         if enq.any():
@@ -853,6 +891,7 @@ class BatchSimulator:
         t0_l: List[int] = []
         dst_l: List[int] = []
         idx_l: List[int] = []
+        src_l: List[int] = []
         pk_n = self._pk_n
         for h, q, rec, _row in launchers:
             t_create, dst = q.popleft()
@@ -881,6 +920,7 @@ class BatchSimulator:
             t0_l.append(t_create)
             dst_l.append(dst)
             idx_l.append(loff + host_buf[h])
+            src_l.append(h)
             if ls_fwd is not None:
                 ls_fwd[locc + inj_lb + h] += 1
         self._pk_n = pk_n
@@ -901,12 +941,16 @@ class BatchSimulator:
             )
             self._pk_dest[pids] = idxs
             self._pk_lane[pids] = lane
+            self._pk_src[pids] = np.fromiter(
+                src_l, dtype=np.int64, count=launched
+            )
             free[idxs] -= 1
         else:
             bucket.extend(pid_l)
             pk_rid, pk_hop, pk_t0 = self._pk_rid, self._pk_hop, self._pk_t0
             pk_link, pk_dst = self._pk_link, self._pk_dst
             pk_dest, pk_lane = self._pk_dest, self._pk_lane
+            pk_src = self._pk_src
             for i in range(launched):
                 pid = pid_l[i]
                 idx = idx_l[i]
@@ -917,6 +961,7 @@ class BatchSimulator:
                 pk_dst[pid] = dst_l[i]
                 pk_dest[pid] = idx
                 pk_lane[pid] = lane
+                pk_src[pid] = src_l[i]
                 free[idx] -= 1
         self._qlen[
             lane * self._n_hostsG
@@ -1150,6 +1195,7 @@ class BatchSimulator:
         self._pk_dst[pids] = dstv
         self._pk_dest[pids] = idxs
         self._pk_lane[pids] = lanev
+        self._pk_src[pids] = hosts
         self._free[idxs] -= 1
         if self._ls_fwd is not None:
             # (lane, host) pairs are unique this cycle: fancy add exact.
@@ -1821,6 +1867,7 @@ class BatchSimulator:
         # shared by every lane's result extraction.
         self._mlat_ml = np.asarray(self._mlat_lane, dtype=np.int64)
         self._mlat_vl = np.asarray(self._mlat_val, dtype=np.int64)
+        self._mlat_pl = np.asarray(self._mlat_pair, dtype=np.int64)
         self.results = [self._lane_result(lane) for lane in range(self._n)]
         # Freeze run-end counter values: the serial engine publishes its
         # metrics before drain(), so deferred per-lane publishes must not
@@ -1854,11 +1901,7 @@ class BatchSimulator:
             float(sums.sum()) / measured if measured else float("nan")
         )
         lat = self._mlat_vl[self._mlat_ml == lane]
-        if lat.size:
-            p50, p99 = np.percentile(lat, (50, 99))
-            p50, p99 = float(p50), float(p99)
-        else:
-            p50 = p99 = float("nan")
+        p50, p99 = latency_percentiles(lat)
         n_sl = self._n_sl
         util = (
             np.asarray(self._link_flits[lane * n_sl : (lane + 1) * n_sl])
@@ -1921,6 +1964,10 @@ class BatchSimulator:
             reg.array(f"netsim.link_flits/{self._scheme}", n_sl).add(
                 pub["link_flits"][lane * n_sl : (lane + 1) * n_sl]
             )
+            res = self.results[lane]
+            stamp_latency_gauges(
+                reg, res.latency_p50, res.latency_p99, res.mean_latency
+            )
         ts = obs_timeseries.active()
         if ts is not None and self._ts is not None:
             run = ts.begin_run(**self._ts_meta[lane])
@@ -1935,6 +1982,13 @@ class BatchSimulator:
             lsr.set_link_endpoints(ep["link_src"], ep["link_dst"])
             for row in self._ls_rows[lane]:
                 lsr.record_window(run, **row)
+        fsr = obs_flowstats.active()
+        if fsr is not None and self._fs_on:
+            run = fsr.begin_run(**self._fs_meta[lane])
+            ep = self._fs_ep
+            fsr.set_pair_endpoints(ep["pair_src"], ep["pair_dst"])
+            mask = self._mlat_ml == lane
+            fsr.record_run(run, self._mlat_pl[mask], self._mlat_vl[mask])
 
     # -------------------------------------------------------------- drain
     def drain(self) -> List[int]:

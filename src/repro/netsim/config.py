@@ -81,6 +81,13 @@ class SimConfig:
         *without* an active recorder raises
         :class:`~repro.errors.ConfigurationError` instead of silently
         dropping the forensic record the caller asked for.
+    flowstats:
+        Declare that runs under this config must capture per-(src,dst)
+        flow telemetry (:mod:`repro.obs.flowstats`).  Same contract as
+        ``linkstate``: capture is keyed off the module recorder, and
+        ``flowstats=True`` without an active recorder raises
+        :class:`~repro.errors.ConfigurationError` instead of silently
+        dropping the per-pair record the caller asked for.
     """
 
     channel_latency: int = 10
@@ -100,6 +107,7 @@ class SimConfig:
     engine: str = "fast"
     batch_lanes: int = 1
     linkstate: bool = False
+    flowstats: bool = False
 
     def __post_init__(self):
         if self.engine not in ("fast", "reference"):

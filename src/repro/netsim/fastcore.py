@@ -305,6 +305,9 @@ class FastSimulator(Simulator):
         self._pk_dst: List[int] = []   # destination host
         self._pk_tr: List[int] = []    # flight-recorder id (-1: untraced)
         self._pk_dest: List[int] = []  # scheduled target buffer (-1: eject)
+        # Source host; maintained only under flowstats capture (the only
+        # reader), so the off path never grows the column.
+        self._pk_src: List[int] = []
         self._pk_free: List[int] = []
 
         # Host lookup tables.
@@ -422,6 +425,9 @@ class FastSimulator(Simulator):
         sc = cfg.sample_cycles
         sums, counts = self._sample_sums, self._sample_counts
         lats = self._latencies
+        fs_on = self._fs is not None
+        if fs_on:
+            pk_src, fs_pairs, nh = self._pk_src, self._fs_pairs, self._fs_nh
         host_sw = self._host_sw
         freelist = self._pk_free
         delivered = 0
@@ -444,6 +450,8 @@ class FastSimulator(Simulator):
                         sums[s] += lat
                         counts[s] += 1
                         lats.append(lat)
+                        if fs_on:
+                            fs_pairs.append(pk_src[pid] * nh + pk_dst[pid])
                     freelist.append(pid)
                 else:
                     length = flen[idx]
@@ -480,6 +488,8 @@ class FastSimulator(Simulator):
                         sums[s] += lat
                         counts[s] += 1
                         lats.append(lat)
+                        if fs_on:
+                            fs_pairs.append(pk_src[pid] * nh + pk_dst[pid])
                     if pk_tr[pid] >= 0:
                         tr.event(
                             pk_tr[pid], self._trace_run, obs_trace.EV_EJECT,
@@ -592,6 +602,8 @@ class FastSimulator(Simulator):
         if reg is not None:
             reg.counter("core.cache.hit").inc(launched)
         bchoose = self._bchoose
+        fs_on = self._fs is not None
+        pk_src = self._pk_src
         pk_rid, pk_hop, pk_t0 = self._pk_rid, self._pk_hop, self._pk_t0
         pk_link, pk_dst = self._pk_link, self._pk_dst
         pk_tr, pk_dest = self._pk_tr, self._pk_dest
@@ -620,6 +632,8 @@ class FastSimulator(Simulator):
                 pk_dst[pid] = dst
                 pk_tr[pid] = -1
                 pk_dest[pid] = idx
+                if fs_on:
+                    pk_src[pid] = h
             else:
                 pid = len(pk_rid)
                 pk_rid.append(rid)
@@ -629,6 +643,8 @@ class FastSimulator(Simulator):
                 pk_dst.append(dst)
                 pk_tr.append(-1)
                 pk_dest.append(idx)
+                if fs_on:
+                    pk_src.append(h)
             free[idx] -= 1
             if ls_on:
                 ls_fwd[inj_base + h] += 1
@@ -707,6 +723,8 @@ class FastSimulator(Simulator):
         pk_tr, pk_dest = self._pk_tr, self._pk_dest
         freelist = self._pk_free
         bucket = self._cal[(now + self._cl) % self._calP]
+        fs_on = self._fs is not None
+        pk_src = self._pk_src
         ls_on = self._ls is not None
         if ls_on:
             ls_fwd = self._ls_fwd
@@ -743,6 +761,8 @@ class FastSimulator(Simulator):
                 pk_dst[pid] = dst
                 pk_tr[pid] = uid
                 pk_dest[pid] = idx
+                if fs_on:
+                    pk_src[pid] = h
             else:
                 pid = len(pk_rid)
                 pk_rid.append(rid)
@@ -752,6 +772,8 @@ class FastSimulator(Simulator):
                 pk_dst.append(dst)
                 pk_tr.append(uid)
                 pk_dest.append(idx)
+                if fs_on:
+                    pk_src.append(h)
             if uid >= 0:
                 nodes = self._t.r_nodes[rid]
                 idx_map = self.paths.path_index_map(host_sw[h], host_sw[dst])

@@ -37,6 +37,7 @@ from repro.netsim.batchcore import (
 from repro.netsim.config import SimConfig
 from repro.netsim.sweep import saturation_throughput
 from repro.netsim.simulator import PatternTraffic
+from repro.obs import flowstats as obs_flowstats
 from repro.obs import linkstate as obs_linkstate
 from repro.obs import metrics
 from repro.obs import monitor as obs_monitor
@@ -72,11 +73,14 @@ _GRID_OBS: List[bool] = [False]
 _GRID_TRACE: List[Optional[dict]] = [None]
 _GRID_TS: List[Optional[dict]] = [None]
 _GRID_LS: List[Optional[dict]] = [None]
+# Flowstats config is an *empty* dict when enabled (the recorder takes no
+# parameters), so every check below is ``is None`` — never truthiness.
+_GRID_FS: List[Optional[dict]] = [None]
 _GRID_HB: List[Optional[obs_monitor.Heartbeater]] = [None]
 
 
 def _grid_init(topo_doc, k, cache_seed, states, obs_enabled=False,
-               trace_cfg=None, ts_cfg=None, ls_cfg=None,
+               trace_cfg=None, ts_cfg=None, ls_cfg=None, fs_cfg=None,
                mon_sink=None) -> None:
     """Pool initializer: rebuild the topology and warmed caches once."""
     import os
@@ -92,6 +96,7 @@ def _grid_init(topo_doc, k, cache_seed, states, obs_enabled=False,
     _GRID_TRACE[0] = dict(trace_cfg) if trace_cfg else None
     _GRID_TS[0] = dict(ts_cfg) if ts_cfg else None
     _GRID_LS[0] = dict(ls_cfg) if ls_cfg else None
+    _GRID_FS[0] = dict(fs_cfg) if fs_cfg is not None else None
     _GRID_HB[0] = (
         obs_monitor.Heartbeater(mon_sink, worker=os.getpid())
         if mon_sink is not None else None
@@ -101,18 +106,20 @@ def _grid_init(topo_doc, k, cache_seed, states, obs_enabled=False,
 def _run_cell(
     args,
 ) -> Tuple[
-    GridCell, Optional[dict], Optional[dict], Optional[dict], Optional[dict]
+    GridCell, Optional[dict], Optional[dict], Optional[dict],
+    Optional[dict], Optional[dict],
 ]:
     """Worker: run one saturation sweep against the initializer's state.
 
     Returns the cell plus a metrics snapshot of everything the sweep
     recorded (simulator flit/stall counters, per-link flit arrays, cache
     hit/miss counts), a flight-recorder snapshot, a time-series snapshot,
-    and a link-state snapshot, each ``None`` when the corresponding
-    subsystem is off.  Metric snapshots merge commutatively; trace,
-    time-series and link-state snapshots are merged by the parent in task
-    order (``pool.map`` preserves it), so the parent's aggregates are
-    identical for any worker count.
+    a link-state snapshot, and a flow-stats snapshot, each ``None`` when
+    the corresponding subsystem is off.  Metric snapshots merge
+    commutatively; trace, time-series, link-state and flow-stats
+    snapshots are merged by the parent in task order (``pool.map``
+    preserves it), so the parent's aggregates are identical for any
+    worker count.
     """
     (
         scheme, mechanism, pattern_index, pattern_flows, n_hosts,
@@ -131,6 +138,7 @@ def _run_cell(
     trace_cfg = _GRID_TRACE[0]
     ts_cfg = _GRID_TS[0]
     ls_cfg = _GRID_LS[0]
+    fs_cfg = _GRID_FS[0]
     hb = _GRID_HB[0]
     if hb is not None:
         hb.task(f"{scheme}/{mechanism} p{pattern_index}")
@@ -139,11 +147,12 @@ def _run_cell(
         and trace_cfg is None
         and ts_cfg is None
         and ls_cfg is None
+        and fs_cfg is None
     ):
         cell = GridCell(scheme, mechanism, pattern_index, sweep())
         if hb is not None:
             hb.done()
-        return cell, None, None, None, None
+        return cell, None, None, None, None, None
     with ExitStack() as stack:
         reg = (
             stack.enter_context(metrics.capture()) if _GRID_OBS[0] else None
@@ -160,11 +169,16 @@ def _run_cell(
             stack.enter_context(obs_linkstate.capture(**ls_cfg))
             if ls_cfg else None
         )
+        fsr = (
+            stack.enter_context(obs_flowstats.capture(**fs_cfg))
+            if fs_cfg is not None else None
+        )
         if tsr is not None and hb is not None:
             tsr.on_window = hb.window
         th = sweep()
         ts_snap = tsr.snapshot() if tsr is not None else None
         ls_snap = lsr.snapshot() if lsr is not None else None
+        fs_snap = fsr.snapshot() if fsr is not None else None
     if hb is not None:
         hb.done()
     return (
@@ -173,6 +187,7 @@ def _run_cell(
         rec.snapshot() if rec is not None else None,
         ts_snap,
         ls_snap,
+        fs_snap,
     )
 
 
@@ -199,6 +214,7 @@ def _run_cell_batch(chunk):
     obs_on = _GRID_OBS[0]
     ts_cfg = _GRID_TS[0]
     ls_cfg = _GRID_LS[0]
+    fs_cfg = _GRID_FS[0]
     hb = _GRID_HB[0]
     config: SimConfig = chunk[0][6]
     rates = chunk[0][5]
@@ -227,6 +243,7 @@ def _run_cell_batch(chunk):
     m_snaps = {i: [] for i in batchable}
     ts_snaps = {i: [] for i in batchable}
     ls_snaps = {i: [] for i in batchable}
+    fs_snaps = {i: [] for i in batchable}
     throughput = {i: 0.0 for i in batchable}
     done = {i: False for i in batchable}
 
@@ -260,7 +277,7 @@ def _run_cell_batch(chunk):
                 batch = BatchSimulator(topology, caches[scheme], lanes, config)
                 results = batch.run(publish=False, observe=obs_on)
                 for j, i in enumerate(pack):
-                    if obs_on or ts_cfg or ls_cfg:
+                    if obs_on or ts_cfg or ls_cfg or fs_cfg is not None:
                         with ExitStack() as stack:
                             reg = (
                                 stack.enter_context(metrics.capture())
@@ -278,6 +295,12 @@ def _run_cell_batch(chunk):
                                 )
                                 if ls_cfg else None
                             )
+                            fsr = (
+                                stack.enter_context(
+                                    obs_flowstats.capture(**fs_cfg)
+                                )
+                                if fs_cfg is not None else None
+                            )
                             batch.publish_lane(j)
                             if reg is not None:
                                 m_snaps[i].append(reg.snapshot())
@@ -285,6 +308,8 @@ def _run_cell_batch(chunk):
                                 ts_snaps[i].append(tsr.snapshot())
                             if lsr is not None:
                                 ls_snaps[i].append(lsr.snapshot())
+                            if fsr is not None:
+                                fs_snaps[i].append(fsr.snapshot())
                     if results[j].saturated:
                         done[i] = True
                     else:
@@ -312,12 +337,19 @@ def _run_cell_batch(chunk):
             for s in ls_snaps[i]:  # rate order = the serial run order
                 lsr.merge(s)
             ls_snap = lsr.snapshot()
+        fs_snap = None
+        if fs_snaps[i]:
+            fsr = obs_flowstats.FlowstatsRecorder(**fs_cfg)
+            for s in fs_snaps[i]:  # rate order = the serial run order
+                fsr.merge(s)
+            fs_snap = fsr.snapshot()
         out[i] = (
             GridCell(scheme, mech, pattern_index, throughput[i]),
             snap,
             None,
             ts_snap,
             ls_snap,
+            fs_snap,
         )
     return out
 
@@ -391,17 +423,19 @@ def run_saturation_grid(
         sink = mon.post if processes == 1 else mon.queue()
     initargs = (
         topo_doc, k, seed, states, metrics.enabled(), obs_trace.config(),
-        obs_timeseries.config(), obs_linkstate.config(), sink,
+        obs_timeseries.config(), obs_linkstate.config(),
+        obs_flowstats.config(), sink,
     )
     cells: List[GridCell] = []
 
     def _collect(cell_result):
-        cell, snap, tsnap, ts_snap, ls_snap = cell_result
+        cell, snap, tsnap, ts_snap, ls_snap, fs_snap = cell_result
         cells.append(cell)
         metrics.merge_snapshot(snap)
         obs_trace.merge_snapshot(tsnap)
         obs_timeseries.merge_snapshot(ts_snap)
         obs_linkstate.merge_snapshot(ls_snap)
+        obs_flowstats.merge_snapshot(fs_snap)
         progress.step()
         if mon is not None:
             mon.step()
@@ -426,6 +460,7 @@ def run_saturation_grid(
                 _GRID_TRACE[0] = None
                 _GRID_TS[0] = None
                 _GRID_LS[0] = None
+                _GRID_FS[0] = None
                 _GRID_HB[0] = None
         else:
             with ProcessPoolExecutor(

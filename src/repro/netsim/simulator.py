@@ -37,6 +37,8 @@ import numpy as np
 from repro.core.cache import PathCache
 from repro.errors import ConfigurationError, SimulationError, TrafficError
 from repro.netsim.config import SimConfig
+from repro.netsim.stats import latency_percentiles, stamp_latency_gauges
+from repro.obs import flowstats as obs_flowstats
 from repro.obs import linkstate as obs_linkstate
 from repro.obs import metrics
 from repro.obs import timeseries as obs_timeseries
@@ -381,6 +383,35 @@ class Simulator:
             self._ls_peak = np.zeros(nl, dtype=np.int64)
             self._ls_next = ls.window
 
+        # Per-(src,dst) flow recorder (same fixed-at-construction
+        # discipline).  The hot path only appends the ejected packet's
+        # pair id next to its latency; the per-pair tally happens once at
+        # the end of run() from the two aligned lists.
+        fs = obs_flowstats.active()
+        if fs is None and config.flowstats:
+            raise ConfigurationError(
+                "SimConfig(flowstats=True) requires an active flow-stats "
+                "recorder: enable repro.obs.flowstats (or use its capture() "
+                "context) before building the simulator"
+            )
+        self._fs = fs
+        self._fs_run = -1
+        self._fs_nh = topology.n_hosts
+        self._fs_pairs: List[int] = []
+        if fs is not None:
+            self._fs_run = fs.begin_run(
+                scheme=getattr(paths.selector, "name", "unknown"),
+                mechanism=mechanism,
+                rate=self.rate,
+                n_hosts=topology.n_hosts,
+                n_pairs=topology.n_hosts * topology.n_hosts,
+                n_bins=obs_flowstats.latency_bins(config),
+                warmup_cycles=config.warmup_cycles,
+                channel_latency=config.channel_latency,
+            )
+            ep = obs_flowstats.pair_endpoints(topology.n_hosts)
+            fs.set_pair_endpoints(ep["pair_src"], ep["pair_dst"])
+
     # ----------------------------------------------------------- plumbing
     def _buf_idx(self, switch: int, port: int, vc: int) -> int:
         return switch * self._stride_switch + port * self._stride_port + vc
@@ -409,6 +440,10 @@ class Simulator:
                     self._sample_sums[s] += packet.latency
                     self._sample_counts[s] += 1
                     self._latencies.append(packet.latency)
+                    if self._fs is not None:
+                        self._fs_pairs.append(
+                            packet.src * self._fs_nh + packet.dst
+                        )
                 if tr is not None and packet.trace_id >= 0:
                     tr.event(
                         packet.trace_id, self._trace_run, obs_trace.EV_EJECT,
@@ -838,12 +873,7 @@ class Simulator:
         mean_latency = (
             sum(self._sample_sums) / measured if measured else float("nan")
         )
-        if self._latencies:
-            lat = np.asarray(self._latencies)
-            p50 = float(np.percentile(lat, 50))
-            p99 = float(np.percentile(lat, 99))
-        else:
-            p50 = p99 = float("nan")
+        p50, p99 = latency_percentiles(self._latencies)
         util = np.asarray(self._link_flits) / measured_cycles
         active = max(1, len(self.active_hosts))
         # Wall-clock cycle throughput of this run (never part of the
@@ -851,9 +881,14 @@ class Simulator:
         # manifest comparisons).
         wall = time.perf_counter() - t_wall
         self.cycles_per_sec = self._end_cycle / wall if wall > 0 else 0.0
+        if self._fs is not None:
+            self._fs.record_run(
+                self._fs_run, self._fs_pairs, self._latencies
+            )
         reg = metrics.active()
         if reg is not None:
             self._publish_metrics(reg)
+        stamp_latency_gauges(reg, p50, p99, mean_latency)
         return SimResult(
             injection_rate=self.rate,
             injected=self.injected,

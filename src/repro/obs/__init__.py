@@ -23,6 +23,12 @@
 - :mod:`repro.obs.forensics` — congestion forensics over that record:
   stall rankings, upstream backpressure trees, path attribution,
   onset detection, and the ``inspect`` CLI;
+- :mod:`repro.obs.flowstats` — per-(src,dst)-pair flow telemetry
+  (delivered / latency sum / latency max columns plus an exact mergeable
+  latency histogram) across all three engine tiers;
+- :mod:`repro.obs.fairness` — flow-level SLO analysis over that record:
+  Jain's fairness index, per-pair percentile digests, victim-pair
+  detection with link-state attribution, and the ``flows`` CLI;
 - :mod:`repro.obs.monitor` — live run monitor: worker heartbeats over a
   multiprocessing queue, in-place ANSI dashboard, stale-worker watchdog;
 - :mod:`repro.obs.log` — structured events (stderr + JSONL + handlers);
@@ -41,6 +47,8 @@ Typical embedding use::
 
 from repro.obs import (
     compare,
+    fairness,
+    flowstats,
     forensics,
     ledger,
     linkstate,
@@ -51,6 +59,7 @@ from repro.obs import (
     trace,
     trend,
 )
+from repro.obs.flowstats import FlowstatsRecorder
 from repro.obs.linkstate import LinkstateRecorder
 from repro.obs.manifest import build_manifest, topology_hash, write_manifest
 from repro.obs.metrics import MetricsRegistry
@@ -61,6 +70,8 @@ from repro.obs.trace import TraceAnalysis, TraceRecorder
 
 __all__ = [
     "compare",
+    "fairness",
+    "flowstats",
     "forensics",
     "ledger",
     "linkstate",
@@ -70,6 +81,7 @@ __all__ = [
     "timeseries",
     "trace",
     "trend",
+    "FlowstatsRecorder",
     "LinkstateRecorder",
     "Heartbeater",
     "MetricsRegistry",

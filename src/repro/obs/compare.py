@@ -14,7 +14,13 @@ What is compared:
 - **metric counters** — relative drift in either direction; gated only
   when ``metric_threshold`` is given (counters are deterministic for a
   fixed seed, so a drift gate doubles as a reproducibility check);
-- **wall time** — reported, never gated (too noisy across machines).
+- **wall time** — reported, never gated (too noisy across machines);
+- **SLO gauges** — the latency/fairness scalars
+  (``netsim.latency_p50/p99``, ``netsim.mean_latency``,
+  ``netsim.fairness_jain``, ``netsim.worst_pair_p99``) are surfaced as
+  report-only deltas alongside the engine-throughput gauges; their
+  regression gate lives in the N-run trend analysis
+  (:mod:`repro.obs.trend`), where a noise floor makes sense.
 
 Simulator runs additionally stamp their engine into the manifest (the
 ``netsim.engine_runs/<engine>`` counters and the
@@ -110,6 +116,15 @@ _ENGINE_PREFIX = "netsim.engine_runs/"
 #: Gauge prefix reporting each engine's peak cycles/second for the run.
 _CPS_PREFIX = "netsim.cycles_per_sec/"
 
+#: Latency/fairness SLO gauges surfaced in the diff (report-only here;
+#: the N-run trend gate owns their regression thresholds).
+_SLO_PREFIXES = (
+    "netsim.latency_",
+    "netsim.mean_latency",
+    "netsim.fairness_jain",
+    "netsim.worst_pair_p99",
+)
+
 
 def engines_of(manifest: Mapping) -> frozenset:
     """The simulator engines a manifest's run used (empty if none)."""
@@ -185,10 +200,12 @@ def compare_manifests(
     base_gauges = base.get("metrics", {}).get("gauges", {})
     new_gauges = new.get("metrics", {}).get("gauges", {})
     for name in sorted(set(base_gauges) | set(new_gauges)):
-        if not name.startswith(_CPS_PREFIX):
+        if not name.startswith((_CPS_PREFIX,) + _SLO_PREFIXES):
             continue
         # Engine throughput is provenance, not a gate: report it so a
         # cross-engine diff shows what each core actually sustained.
+        # The latency/fairness SLO gauges ride along the same way — the
+        # single-pair diff surfaces them; the N-run trend gate decides.
         diff.deltas.append(
             Delta(
                 "gauge", name,

@@ -18,7 +18,12 @@ noise floors of :mod:`repro.obs.compare`:
 - ``gauge/netsim.cycles_per_sec/...`` gauges gate symmetrically
   downward: engine throughput dropping more than ``threshold`` below
   the window median (or across a sustained changepoint) is a
-  regression.  Other gauges are reported, never gated;
+  regression;
+- the latency SLO gauges (``gauge/netsim.latency_p99``,
+  ``gauge/netsim.worst_pair_p99``) gate upward like timings — a tail
+  that blows past the window median ships no more silently than a slow
+  stage — and ``gauge/netsim.fairness_jain`` gates downward (a fairness
+  collapse is a regression).  Other gauges are reported, never gated;
 - ``counter/...`` metrics gate in either direction only when
   ``metric_threshold`` is given, exactly like ``compare-runs`` —
   counters are deterministic for a fixed seed, so the drift gate
@@ -70,6 +75,15 @@ __all__ = [
 #: Prefix of the engine-throughput gauges (higher is better, gated).
 CPS_PREFIX = "gauge/netsim.cycles_per_sec/"
 
+#: Latency SLO gauges (cycle-valued; larger is worse, gated).
+LATENCY_GAUGES = (
+    "gauge/netsim.latency_p99",
+    "gauge/netsim.worst_pair_p99",
+)
+
+#: Fairness gauges (Jain index in (0, 1]; smaller is worse, gated).
+FAIRNESS_GAUGES = ("gauge/netsim.fairness_jain",)
+
 
 @dataclass(frozen=True)
 class MetricTrend:
@@ -119,6 +133,10 @@ def _direction(metric: str) -> Optional[int]:
     if metric.startswith("timing/"):
         return 1
     if metric.startswith(CPS_PREFIX):
+        return -1
+    if metric in LATENCY_GAUGES:
+        return 1
+    if metric in FAIRNESS_GAUGES:
         return -1
     return None
 

@@ -10,6 +10,8 @@ from repro.report.ascii import (
     bar_chart,
     colorize,
     congestion_tree_text,
+    fairness_table,
+    flow_pair_table,
     latency_decomposition_table,
     ledger_table,
     line_chart,
@@ -26,6 +28,7 @@ from repro.report.ascii import (
     trend_table,
 )
 from repro.report.export import (
+    flowstats_html,
     forensics_html,
     result_to_csv,
     result_to_json,
@@ -37,6 +40,8 @@ __all__ = [
     "bar_chart",
     "colorize",
     "congestion_tree_text",
+    "fairness_table",
+    "flow_pair_table",
     "ledger_table",
     "line_chart",
     "link_load_report",
@@ -51,6 +56,7 @@ __all__ = [
     "supports_ansi",
     "term_width",
     "trend_table",
+    "flowstats_html",
     "forensics_html",
     "result_to_csv",
     "result_to_json",

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 import os
 import shutil
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -39,6 +39,8 @@ __all__ = [
     "trend_table",
     "linkstate_heatmap",
     "stall_attribution_table",
+    "flow_pair_table",
+    "fairness_table",
     "congestion_tree_text",
     "supports_ansi",
     "term_width",
@@ -425,6 +427,7 @@ def linkstate_heatmap(
     *,
     max_cols: int = 64,
     title: str = "link-state heatmap",
+    axis: str = "window",
 ) -> str:
     """Render per-link window series as a links-by-windows shade grid.
 
@@ -432,7 +435,9 @@ def linkstate_heatmap(
     one global scale (blank = 0 up to ``#`` = the grid maximum).  When
     there are more windows than ``max_cols``, adjacent windows collapse
     into fixed bins by maximum, so a long run still fits one screen.
-    Deterministic: no terminal queries, fixed shade alphabet.
+    ``axis`` names the column dimension in the footer (flow heatmaps
+    reuse this grid with hosts as columns).  Deterministic: no terminal
+    queries, fixed shade alphabet.
     """
     if len(rows) != len(row_labels):
         raise ConfigurationError(
@@ -458,11 +463,79 @@ def linkstate_heatmap(
             idx = np.ceil(row / hi * top).astype(np.int64)
             shades = "".join(_HEAT_SHADES[int(i)] for i in idx)
         lines.append(f"   {label.ljust(width)} |{shades}|")
-    axis = f"window 0..{n_windows - 1}"
+    axis = f"{axis} 0..{n_windows - 1}"
     if n_windows > max_cols:
         axis += f" ({grid.shape[1]} bins, max-pooled)"
     lines.append(f"   {' ' * width}  {axis}; scale blank=0 .. '#'={hi}")
     return "\n".join(lines)
+
+
+def flow_pair_table(
+    rows: Sequence[Mapping],
+    *,
+    victim_ids: Optional[Set[int]] = None,
+    title: str = "worst flows by p99 latency",
+) -> str:
+    """Tabulate per-pair digests from :func:`repro.obs.fairness.pair_stats`.
+
+    ``victim_ids`` marks pairs flagged by the victim detector with a
+    ``*`` in the first column.
+    """
+    if not rows:
+        return f"{title}: (no measured flows)"
+    victims = victim_ids or set()
+    body = [
+        [
+            ("*" if int(e["pair"]) in victims else "") + str(e["label"]),
+            int(e["delivered"]),
+            f"{float(e['mean']):.1f}",
+            f"{float(e['p50']):.1f}",
+            f"{float(e['p99']):.1f}",
+            int(e["max"]),
+        ]
+        for e in rows
+    ]
+    return format_table(
+        ["pair", "delivered", "mean", "p50", "p99", "max"],
+        body,
+        title=title,
+    )
+
+
+def fairness_table(
+    summaries: Sequence[Mapping],
+    *,
+    title: str = "per-run flow fairness",
+) -> str:
+    """Tabulate per-run rollups from :func:`repro.obs.fairness.run_summary`."""
+    if not summaries:
+        return f"{title}: (no runs)"
+
+    def _f(v, spec=".1f"):
+        v = float(v)
+        return "-" if v != v else format(v, spec)
+
+    body = [
+        [
+            str(s["label"]),
+            int(s["pairs_active"]),
+            int(s["delivered"]),
+            _f(s["jain"], ".4f"),
+            _f(s["median_p99"]),
+            _f(s["worst"]["p99"]) if s["worst"] is not None else "-",
+            _f(s["spread"], ".2f"),
+            len(s["victims"]),
+        ]
+        for s in summaries
+    ]
+    return format_table(
+        [
+            "run", "pairs", "delivered", "jain", "p99 med",
+            "p99 worst", "spread", "victims",
+        ],
+        body,
+        title=title,
+    )
 
 
 def stall_attribution_table(
@@ -521,8 +594,16 @@ def congestion_tree_text(
     return "\n".join(lines)
 
 
-#: Metric prefixes shown by default in trend tables (the gated families).
-_TREND_DEFAULT_PREFIXES = ("timing/", "gauge/netsim.cycles_per_sec/")
+#: Metric prefixes shown by default in trend tables (the gated families
+#: plus the latency/fairness SLO gauges).
+_TREND_DEFAULT_PREFIXES = (
+    "timing/",
+    "gauge/netsim.cycles_per_sec/",
+    "gauge/netsim.latency_",
+    "gauge/netsim.mean_latency",
+    "gauge/netsim.fairness_",
+    "gauge/netsim.worst_pair_",
+)
 
 
 def trend_table(

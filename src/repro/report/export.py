@@ -19,6 +19,7 @@ __all__ = [
     "save_result",
     "trend_dashboard_html",
     "forensics_html",
+    "flowstats_html",
 ]
 
 
@@ -295,6 +296,10 @@ def trend_dashboard_html(report, entries: Sequence[Mapping]) -> str:
         if t.regression
         or t.metric.startswith("timing/")
         or t.metric.startswith("gauge/netsim.cycles_per_sec/")
+        or t.metric.startswith("gauge/netsim.latency_")
+        or t.metric.startswith("gauge/netsim.mean_latency")
+        or t.metric.startswith("gauge/netsim.fairness_")
+        or t.metric.startswith("gauge/netsim.worst_pair_")
     ]
     out.append("<h2>Metric trends</h2>")
     if not cards:
@@ -548,6 +553,118 @@ def forensics_html(docs: Sequence[Mapping]) -> str:
                 out.append(
                     f'<p class="sub">{esc(str(hp["label"]))}: '
                     f"{int(hp['packets'])} traced crossings — {parts}</p>"
+                )
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"
+
+
+def flowstats_html(docs: Sequence[Mapping]) -> str:
+    """Render the flow-level SLO observatory as self-contained HTML.
+
+    ``docs`` is a sequence of documents from
+    :func:`repro.obs.fairness.flow_docs` (one per flowstats artifact).
+    Sections per run: fairness tiles (Jain index, median/worst p99,
+    spread), victim-pair callouts joined with the link-state stall
+    attribution, the source-by-destination p99 heatmap, and the
+    worst-pair digest table.  Pure function of its inputs — no
+    timestamps, no randomness — so the page is byte-identical across
+    renders.
+    """
+    esc = _html.escape
+    out: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8"/>',
+        "<title>repro · flow-level SLOs</title>",
+        f"<style>{_DASH_CSS}</style></head><body>",
+        "<h1>Flow-level SLO observatory</h1>",
+        '<p class="sub">Per-(src,dst)-pair latency digests: who paid '
+        "for the good average — fairness indices, tail spread, and the "
+        "victim flows a mean-only comparison hides.</p>",
+    ]
+    for doc in docs:
+        out.append(f"<h2>{esc(str(doc['name']))}</h2>")
+        out.append('<div class="tiles">')
+        for label, value in (
+            ("Runs", str(int(doc["n_runs"]))),
+            ("Hosts", str(int(doc["n_hosts"]))),
+            ("Pairs", str(int(doc["n_pairs"]))),
+            ("Histogram bins", str(int(doc["n_bins"]))),
+        ):
+            out.append(
+                f'<div class="tile"><div class="label">{esc(label)}</div>'
+                f'<div class="value">{esc(value)}</div></div>'
+            )
+        out.append("</div>")
+        for run in doc["runs"]:
+            out.append(
+                f"<h2>run {int(run['run'])} · {esc(str(run['label']))}</h2>"
+            )
+            victim_cls = "bad" if run["victims"] else "ok"
+            out.append('<div class="tiles">')
+            for label, value, cls in (
+                ("Active pairs", str(int(run["pairs_active"])), ""),
+                ("Delivered", _fmt(float(run["delivered"])), ""),
+                ("Jain index", _fmt(float(run["jain"])), ""),
+                ("p99 median", _fmt(float(run["median_p99"])), ""),
+                ("p99 spread", _fmt(float(run["spread"])), ""),
+                ("Victim pairs", str(int(run["victim_total"])), victim_cls),
+            ):
+                out.append(
+                    f'<div class="tile"><div class="label">{esc(label)}'
+                    f'</div><div class="value {cls}">{esc(value)}</div></div>'
+                )
+            out.append("</div>")
+            attribution = {
+                int(a["pair"]): a for a in run.get("attribution") or ()
+            }
+            for v in run["victims"]:
+                line = (
+                    f'<div class="callout"><span class="tag">victim '
+                    f"flow</span> {esc(str(v['label']))} — p99 "
+                    f"{_fmt(float(v['p99']))} cycles "
+                    f"({v['ratio']:.2f}&times; the run median, threshold "
+                    f"{run['k']:g}&times;), {int(v['delivered'])} delivered"
+                )
+                a = attribution.get(int(v["pair"]))
+                if a is not None:
+                    line += (
+                        f" · {int(a['injection_stalls'])} injection stalls"
+                    )
+                    if a.get("suspect") is not None:
+                        s = a["suspect"]
+                        line += (
+                            f" · top stalled link {esc(str(s['label']))} "
+                            f"({100.0 * float(s['share']):.1f}% of stalls)"
+                        )
+                out.append(line + "</div>")
+            if run["heat_rows"]:
+                out.append(
+                    '<div class="card"><div class="name">pair p99 latency '
+                    "by destination host (hottest source hosts)</div>"
+                    + _heat_svg(
+                        run["heat_rows"],
+                        run["heat_labels"],
+                        hue="var(--critical)",
+                        unit="cycles",
+                    )
+                    + "</div>"
+                )
+            worst = run.get("worst_rows") or ()
+            if worst:
+                out.append(
+                    "<details><summary>worst flows by p99</summary>"
+                    "<table><tr><th>pair</th><th>delivered</th>"
+                    "<th>mean</th><th>p50</th><th>p99</th><th>max</th></tr>"
+                    + "".join(
+                        f"<tr><td>{esc(str(e['label']))}</td>"
+                        f"<td>{int(e['delivered'])}</td>"
+                        f"<td>{_fmt(float(e['mean']))}</td>"
+                        f"<td>{_fmt(float(e['p50']))}</td>"
+                        f"<td>{_fmt(float(e['p99']))}</td>"
+                        f"<td>{int(e['max'])}</td></tr>"
+                        for e in worst
+                    )
+                    + "</table></details>"
                 )
     out.append("</body></html>")
     return "\n".join(out) + "\n"

@@ -1,0 +1,74 @@
+"""The shared latency-percentile helper and SLO gauge stamping.
+
+Pins the deduplication of the engines' percentile code: the one
+tuple-form ``np.percentile`` call in :mod:`repro.netsim.stats` must be
+equivalent to both historical spellings (the reference engine's two
+scalar calls and the batched engine's tuple call), and the gauge
+stamping must expose a run's latency tail to the manifest even with
+flowstats disabled.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Jellyfish, PathCache
+from repro.netsim import SimConfig, Simulator, UniformTraffic
+from repro.netsim.stats import latency_percentiles, stamp_latency_gauges
+from repro.obs import metrics
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def _metrics_disabled():
+    metrics.disable()
+    yield
+    metrics.disable()
+
+
+def test_matches_both_historical_spellings():
+    rng = np.random.default_rng(11)
+    for size in (1, 2, 7, 100, 999):
+        lats = rng.integers(0, 400, size=size).tolist()
+        p50, p99 = latency_percentiles(lats)
+        # The reference engine's former two scalar calls ...
+        assert p50 == float(np.percentile(np.asarray(lats), 50))
+        assert p99 == float(np.percentile(np.asarray(lats), 99))
+        # ... and the batched engine's former tuple call.
+        t50, t99 = np.percentile(np.asarray(lats, dtype=np.float64), (50, 99))
+        assert (p50, p99) == (float(t50), float(t99))
+
+
+def test_empty_sample_is_nan_pair():
+    p50, p99 = latency_percentiles([])
+    assert np.isnan(p50) and np.isnan(p99)
+
+
+def test_stamp_keeps_the_worst_value_and_skips_nan():
+    reg = metrics.enable()
+    stamp_latency_gauges(reg, 10.0, 50.0, 20.0)
+    stamp_latency_gauges(reg, 5.0, 80.0, 15.0)   # only p99 is worse
+    assert reg.gauge("netsim.latency_p50").value == 10.0
+    assert reg.gauge("netsim.latency_p99").value == 80.0
+    assert reg.gauge("netsim.mean_latency").value == 20.0
+    nan = float("nan")
+    stamp_latency_gauges(reg, nan, nan, nan)     # empty run: no poison
+    assert reg.gauge("netsim.latency_p99").value == 80.0
+    stamp_latency_gauges(None, 1.0, 1.0, 1.0)    # disabled: no-op
+
+
+def test_simulator_stamps_slo_gauges_without_flowstats():
+    topo = Jellyfish(8, 8, 5, seed=3)
+    cache = PathCache(topo, "redksp", k=4, seed=1)
+    cfg = SimConfig(warmup_cycles=100, sample_cycles=100, n_samples=2)
+    reg = metrics.enable()
+    result = Simulator(
+        topo, cache, "ksp_adaptive", UniformTraffic(topo.n_hosts), 0.2,
+        config=cfg, seed=np.random.SeedSequence(5),
+    ).run()
+    metrics.disable()
+    assert reg.gauge("netsim.latency_p50").value == result.latency_p50
+    assert reg.gauge("netsim.latency_p99").value == result.latency_p99
+    assert reg.gauge("netsim.mean_latency").value == pytest.approx(
+        result.mean_latency
+    )

@@ -442,7 +442,7 @@ def test_parallel_grid_timeseries_byte_identical_to_serial(topo, tmp_path):
 
 
 def test_grid_without_timeseries_still_returns_four_none(topo):
-    # The no-telemetry fast path ships (cell, None, None, None, None).
+    # The no-telemetry fast path ships (cell, None, None, None, None, None).
     from repro.netsim import parallel
     from repro.topology.serialization import topology_to_dict
 
@@ -457,11 +457,12 @@ def test_grid_without_timeseries_still_returns_four_none(topo):
     )
     try:
         cfg = SimConfig(warmup_cycles=20, sample_cycles=20, n_samples=1)
-        cell, m, t, ts, ls = parallel._run_cell(
+        cell, m, t, ts, ls, fs = parallel._run_cell(
             ("ksp", "random", 0, pattern.flows, pattern.n_hosts,
              (0.2,), cfg, (9, 0))
         )
         assert m is None and t is None and ts is None and ls is None
+        assert fs is None
         assert cell.scheme == "ksp"
     finally:
         parallel._GRID_STATE[0] = None
@@ -469,4 +470,5 @@ def test_grid_without_timeseries_still_returns_four_none(topo):
         parallel._GRID_TRACE[0] = None
         parallel._GRID_TS[0] = None
         parallel._GRID_LS[0] = None
+        parallel._GRID_FS[0] = None
         parallel._GRID_HB[0] = None
