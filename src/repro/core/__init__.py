@@ -21,8 +21,9 @@ from repro.core.selectors import (
     LLSKRSelector,
     make_selector,
 )
+from repro.core.arena import PathArena
 from repro.core.cache import PathCache
-from repro.core.store import PathStore, DEFAULT_STORE_DIR
+from repro.core.store import ArenaStore, PathStore, DEFAULT_STORE_DIR
 from repro.core.ecmp import ecmp_paths
 from repro.core.failures import (
     failure_resilience,
@@ -57,6 +58,8 @@ __all__ = [
     "RandomizedEdgeDisjointKSPSelector",
     "LLSKRSelector",
     "PathCache",
+    "PathArena",
+    "ArenaStore",
     "PathStore",
     "DEFAULT_STORE_DIR",
     "ecmp_paths",

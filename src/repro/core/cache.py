@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.arena import PathArena
 from repro.core.path import PathSet
 from repro.core.selectors import PathSelector, make_selector
 from repro.errors import ConfigurationError
@@ -77,6 +78,10 @@ class PathCache:
         self.hits = 0
         self.misses = 0
         self._store: Dict[Tuple[int, int], PathSet] = {}
+        # Flat CSR arena backing (attach_arena): pairs resident there are
+        # cache hits exactly like dict-resident ones; PathSet views are
+        # materialised into the dict lazily on first get().
+        self._arena = None
         # (source, destination) -> {path nodes: index in the PathSet},
         # built once per pair at cache-warm time (see path_index_map) and
         # shared by every simulator run on this cache.
@@ -96,6 +101,13 @@ class PathCache:
         """The PathSet for one switch pair, computing it on first use."""
         key = (source, destination)
         found = self._store.get(key)
+        if found is None and self._arena is not None:
+            # Arena-resident pair: a warm hit.  The lazy PathSet view is
+            # memoised so repeated gets (and path_index_map) share one
+            # object, like a dict-resident pair.
+            found = self._arena.pathset(source, destination)
+            if found is not None:
+                self._store[key] = found
         if found is None:
             self.misses += 1
             reg = metrics._active
@@ -112,6 +124,65 @@ class PathCache:
             if reg is not None:
                 reg.counter("core.cache.hit").inc()
         return found
+
+    def peek(self, source: int, destination: int) -> Optional[PathSet]:
+        """The PathSet for one resident pair, or None — no counters.
+
+        Unlike :meth:`get` this never computes, never tallies hit/miss,
+        and never materialises arena views into the dict; engine internals
+        use it where the legacy code read ``_store`` directly.
+        """
+        found = self._store.get((source, destination))
+        if found is None and self._arena is not None:
+            found = self._arena.pathset(source, destination)
+        return found
+
+    def attach_arena(self, arena) -> None:
+        """Back this cache with a :class:`~repro.core.arena.PathArena`.
+
+        Arena-resident pairs behave exactly like dict-resident ones
+        (warm hits); attaching on top of an existing arena merges, with
+        the new arena winning duplicate pairs.
+        """
+        if arena is None:
+            return
+        if self._arena is not None and len(self._arena):
+            arena = PathArena.merge([self._arena, arena], key=arena.key)
+        self._arena = arena
+
+    @property
+    def arena(self):
+        """The attached :class:`~repro.core.arena.PathArena`, if any."""
+        return self._arena
+
+    def max_hops(self) -> int:
+        """Longest resident path in hops (floor 1), dict and arena both.
+
+        The VC-count derivations (``Simulator.__init__``, the batched
+        engine's lane grouping, the KSP mechanisms' route-hop bound) all
+        need the longest path *anywhere in the cache state* — an
+        arena-resident pair counts exactly as a dict-resident one did
+        when the legacy store loaded everything into the dict.
+        """
+        longest = 1
+        for ps in self._store.values():
+            for p in ps:
+                if p.hops > longest:
+                    longest = p.hops
+        if self._arena is not None:
+            a = self._arena.max_hops()
+            if a > longest:
+                longest = a
+        return longest
+
+    def iter_entries(self) -> Iterable[Tuple[Tuple[int, int], PathSet]]:
+        """Every resident ``((src, dst), PathSet)``, dict winning the arena."""
+        for key, ps in self._store.items():
+            yield key, ps
+        if self._arena is not None:
+            for s, d in self._arena.pairs():
+                if (s, d) not in self._store:
+                    yield (s, d), self._arena.pathset(s, d)
 
     def path_index_map(
         self, source: int, destination: int
@@ -165,7 +236,7 @@ class PathCache:
             {
                 (int(s), int(d))
                 for s, d in pairs
-                if (int(s), int(d)) not in self._store
+                if (int(s), int(d)) not in self
             }
         )
         if not missing:
@@ -206,12 +277,19 @@ class PathCache:
                 initializer=_precompute_worker_init,
                 initargs=initargs,
             ) as pool:
-                for shard_result, snap in pool.map(_precompute_worker_run, shards):
-                    self._store.update(shard_result)
+                # Workers return compact CSR arena shards (a few flat
+                # arrays) instead of dicts of PathSet objects — the IPC
+                # cost per pair is bytes, not pickled object graphs — and
+                # the shards merge straight into the cache's arena.
+                pending: List[PathArena] = []
+                for shard_arena, snap in pool.map(_precompute_worker_run, shards):
+                    pending.append(shard_arena)
                     metrics.merge_snapshot(snap)
-                    progress.step(len(shard_result))
+                    progress.step(len(shard_arena))
                     if mon is not None:
-                        mon.step(len(shard_result))
+                        mon.step(len(shard_arena))
+                if pending:
+                    self.attach_arena(PathArena.merge(pending))
             # The shards were all cache misses; keep the parent's plain-int
             # tallies consistent with what a serial warm would have recorded.
             self.misses += len(missing)
@@ -264,8 +342,13 @@ class PathCache:
                     yield self.get(s, d)
 
     def export_state(self) -> Dict[Tuple[int, int], PathSet]:
-        """A snapshot of the memoised PathSets (for shipping to workers)."""
-        return dict(self._store)
+        """A snapshot of every resident PathSet (arena pairs included).
+
+        Legacy API: parallel grids now ship the flat arena (zero-copy
+        via shared memory) instead of this dict — see
+        :func:`repro.netsim.parallel.run_saturation_grid`.
+        """
+        return dict(self.iter_entries())
 
     def import_state(self, state: Dict[Tuple[int, int], PathSet]) -> None:
         """Merge a snapshot from :meth:`export_state` into this cache.
@@ -277,10 +360,22 @@ class PathCache:
         self._store.update(state)
 
     def __len__(self) -> int:
-        return len(self._store)
+        if self._arena is None or not len(self._arena):
+            return len(self._store)
+        if not self._store:
+            return len(self._arena)
+        n = self.topology.n_switches
+        keys = np.fromiter(
+            (s * n + d for s, d in self._store),
+            dtype=np.int64, count=len(self._store),
+        )
+        overlap = int(self._arena.contains_keys(keys).sum())
+        return len(self._store) + len(self._arena) - overlap
 
     def __contains__(self, pair: Tuple[int, int]) -> bool:
-        return pair in self._store
+        if pair in self._store:
+            return True
+        return self._arena is not None and pair in self._arena
 
 
 # -------------------------------------------------------- pool plumbing
@@ -310,18 +405,25 @@ def _precompute_worker_init(topo_doc, selector, k, seed, obs_enabled=False,
 
 def _precompute_worker_run(
     pairs: Sequence[Tuple[int, int]],
-) -> Tuple[Dict[Tuple[int, int], PathSet], Optional[dict]]:
+):
+    """Compute one shard; returns ``(PathArena shard, metrics snapshot)``.
+
+    The shard travels back to the parent as a few flat CSR arrays — the
+    per-pair IPC cost is the path bytes themselves, not pickled
+    PathSet/Path object graphs.
+    """
     cache = _WORKER_CACHE[0]
     hb = _WORKER_HB[0]
+    n_switches = cache.topology.n_switches
     if hb is not None:
         hb.task(f"shard of {len(pairs)} pairs")
     if not _WORKER_OBS[0]:
         result = {(s, d): cache.get(s, d) for s, d in pairs}
         if hb is not None:
             hb.done()
-        return result, None
+        return PathArena.from_entries(result, n_switches), None
     with metrics.capture() as reg:
         result = {(s, d): cache.get(s, d) for s, d in pairs}
     if hb is not None:
         hb.done()
-    return result, reg.snapshot()
+    return PathArena.from_entries(result, n_switches), reg.snapshot()

@@ -31,13 +31,35 @@ import os
 from pathlib import Path as FsPath
 from typing import Dict, Optional, Tuple
 
+from repro.core.arena import ArenaFormatError, PathArena
 from repro.core.path import Path, PathSet
 from repro.obs import log, metrics
 from repro.topology.serialization import topology_to_dict
 
-__all__ = ["PathStore", "DEFAULT_STORE_DIR"]
+__all__ = ["ArenaStore", "PathStore", "DEFAULT_STORE_DIR"]
 
 _FORMAT = "repro-pathstore-v1"
+
+
+def content_key(cache) -> str:
+    """SHA-256 identifying a cache's path table (shared by both stores).
+
+    Covers the exact adjacency (not just RRG parameters), the selector
+    signature (scheme name plus any constructor knobs), ``k`` and the
+    master seed — everything the cached PathSets are a function of.  The
+    legacy gzip-JSON store and the CSR arena store key the same content
+    identically, which is what lets the arena store migrate legacy files
+    in place.
+    """
+    doc = {
+        "format": _FORMAT,
+        "topology": topology_to_dict(cache.topology),
+        "scheme": list(cache.selector.signature()),
+        "k": cache.k,
+        "seed": cache.seed,
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()
 
 #: Default store location; override with the ``REPRO_PATH_STORE`` env var.
 DEFAULT_STORE_DIR = FsPath(
@@ -66,21 +88,8 @@ class PathStore:
 
     # ------------------------------------------------------------- keys
     def cache_key(self, cache) -> str:
-        """Content hash identifying ``cache``'s path table.
-
-        Covers the exact adjacency (not just RRG parameters), the selector
-        signature (scheme name plus any constructor knobs), ``k`` and the
-        master seed — everything the cached PathSets are a function of.
-        """
-        doc = {
-            "format": _FORMAT,
-            "topology": topology_to_dict(cache.topology),
-            "scheme": list(cache.selector.signature()),
-            "k": cache.k,
-            "seed": cache.seed,
-        }
-        blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode("ascii")).hexdigest()
+        """Content hash identifying ``cache``'s path table (:func:`content_key`)."""
+        return content_key(cache)
 
     def file_for(self, cache) -> FsPath:
         """The store file that holds (or would hold) ``cache``'s table."""
@@ -162,3 +171,131 @@ class PathStore:
                 "path_store.corrupt_file", path=str(path), error=repr(exc)
             )
             return {}
+
+
+class ArenaStore:
+    """A directory of persisted path arenas, one ``.npz`` file per key.
+
+    The canonical store: tables persist as flat CSR arrays
+    (:class:`~repro.core.arena.PathArena`) and load as memory-mapped
+    views, so a warm start costs directory metadata, not a gzip-JSON
+    parse of every path.  Keys, robustness rules and the atomic-save
+    discipline match :class:`PathStore` exactly:
+
+    - same content-hash key (:func:`content_key`), different file name
+      (``arena-<key>.npz`` vs ``paths-<key>.json.gz``);
+    - foreign format tags and version mismatches read as a miss, any
+      other unreadable file counts ``core.store.corrupt`` and reads as a
+      miss — loading never raises;
+    - saves merge with previously persisted entries and go through a
+      temp file + ``os.replace``.
+
+    A miss on the ``.npz`` falls back to the legacy gzip-JSON file for
+    the same key in the same directory: the entries are imported, the
+    arena is written back, and the load still counts as a warm hit — an
+    in-place migration.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = FsPath(root)
+
+    @classmethod
+    def default(cls) -> "ArenaStore":
+        """The store at :data:`DEFAULT_STORE_DIR` (``REPRO_PATH_STORE``)."""
+        return cls(DEFAULT_STORE_DIR)
+
+    def cache_key(self, cache) -> str:
+        """Content hash identifying ``cache``'s path table (:func:`content_key`)."""
+        return content_key(cache)
+
+    def file_for(self, cache) -> FsPath:
+        """The arena file that holds (or would hold) ``cache``'s table."""
+        return self.root / f"arena-{self.cache_key(cache)}.npz"
+
+    def _gauge(self, cache, arena=None) -> None:
+        arena = cache.arena if arena is None else arena
+        if arena is not None:
+            metrics.gauge("core.arena_bytes").set(arena.nbytes)
+        metrics.gauge("core.pairs_resident").set(len(cache))
+
+    # ----------------------------------------------------------- load/save
+    def load(self, cache) -> int:
+        """Attach the persisted arena for ``cache``'s key, memory-mapped.
+
+        Returns the number of resident pairs imported; 0 on miss or any
+        form of corruption (never raises — the caller just recomputes).
+        A hit attaches the arena zero-copy; PathSet views materialise
+        lazily on first use.
+        """
+        key = self.cache_key(cache)
+        target = self.file_for(cache)
+        arena = self._read_arena(target, key)
+        if arena is None:
+            # Legacy-store migration: a gzip-JSON table for the same key
+            # in the same root imports as a warm hit and is rewritten as
+            # an arena so the next load memory-maps.
+            legacy = PathStore(self.root)
+            entries = legacy._read_entries(legacy.file_for(cache), key)
+            if entries:
+                arena = PathArena.from_entries(
+                    entries, cache.topology.n_switches, key=key
+                )
+                try:
+                    self._write(target, arena)
+                except OSError:  # pragma: no cover - read-only store roots
+                    pass
+        if arena is None:
+            metrics.counter("core.store.load_miss").inc()
+            return 0
+        cache.attach_arena(arena)
+        metrics.counter("core.store.load_hit").inc()
+        metrics.counter("core.store.loaded_pairs").inc(len(arena))
+        self._gauge(cache)
+        log.debug(
+            "path_store.loaded", path=str(target), pairs=len(arena)
+        )
+        return len(arena)
+
+    def save(self, cache) -> FsPath:
+        """Persist every resident pair, merged with prior entries, atomically."""
+        key = self.cache_key(cache)
+        target = self.file_for(cache)
+        fresh = PathArena.from_cache(cache, key=key)
+        prior = self._read_arena(target, key)
+        arena = fresh if prior is None else PathArena.merge(
+            [prior, fresh], key=key
+        )
+        self._write(target, arena)
+        metrics.counter("core.store.saved_pairs").inc(len(arena))
+        self._gauge(cache, arena)
+        log.debug("path_store.saved", path=str(target), pairs=len(arena))
+        return target
+
+    def _write(self, target: FsPath, arena: PathArena) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+        try:
+            arena.save_npz(tmp)
+            os.replace(tmp, target)
+        finally:
+            if tmp.exists():  # pragma: no cover - crash-path hygiene
+                tmp.unlink()
+
+    def _read_arena(self, path: FsPath, expected_key: str):
+        try:
+            arena = PathArena.load_npz(path)
+        except FileNotFoundError:
+            return None
+        except ArenaFormatError:
+            # Foreign tag or version: a miss, exactly like the legacy
+            # store's format/key check.
+            return None
+        except Exception as exc:  # corruption-safe: recompute, never crash
+            metrics.counter("core.store.corrupt").inc()
+            log.warning(
+                "path_store.corrupt_file", path=str(path), error=repr(exc)
+            )
+            return None
+        if arena.key != expected_key:
+            return None
+        return arena

@@ -78,6 +78,7 @@ def run_experiment(
     path_store=None,
     steady_state: bool = False,
     batch_lanes: int = 1,
+    pairs_on_demand=None,
 ) -> ExperimentResult:
     """Run one experiment by id (``"table1"`` ... ``"fig13"``).
 
@@ -85,8 +86,10 @@ def run_experiment(
     (parallel precompute + persistent tables); ``steady_state`` switches
     cycle-level drivers to convergence-driven run control;
     ``batch_lanes`` packs independent simulator runs into the batched
-    multi-lane engine.  Each keyword is forwarded only to drivers that
-    accept it; for all but ``steady_state``, results are identical
+    multi-lane engine; ``pairs_on_demand`` caps per-topology path
+    precompute at a fixed pair budget for the drivers that sample pairs.
+    Each keyword is forwarded only to drivers that accept it; for all but
+    ``steady_state`` and ``pairs_on_demand``, results are identical
     either way.
     """
     try:
@@ -109,6 +112,8 @@ def run_experiment(
         kwargs["steady_state"] = steady_state
     if "batch_lanes" in accepted:
         kwargs["batch_lanes"] = batch_lanes
+    if "pairs_on_demand" in accepted and pairs_on_demand is not None:
+        kwargs["pairs_on_demand"] = pairs_on_demand
     return driver(**kwargs)
 
 
@@ -162,6 +167,24 @@ def main(argv=None) -> int:
         metavar="DIR",
         help="persist path tables; with no DIR, uses the default store "
         "(REPRO_PATH_STORE or ~/.cache/repro/path-tables)",
+    )
+    parser.add_argument(
+        "--store-format",
+        choices=("arena", "json"),
+        default="arena",
+        help="on-disk path-table format for --path-store: 'arena' is the "
+        "flat CSR .npz loaded via mmap (migrates legacy json stores in "
+        "place); 'json' keeps the legacy gzip-JSON PathStore (default: "
+        "arena)",
+    )
+    parser.add_argument(
+        "--pairs-on-demand",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap path precompute at N (seeded-random) switch pairs per "
+        "topology instead of the preset sample — makes multi-thousand-"
+        "switch topologies feasible; only table2/3/4 consume it",
     )
     parser.add_argument(
         "--export-dir",
@@ -295,14 +318,18 @@ def main(argv=None) -> int:
             "batched engine is fixed-budget only"
         )
 
+    if args.pairs_on_demand is not None and args.pairs_on_demand < 1:
+        parser.error("--pairs-on-demand must be >= 1")
+
     store = None
     if args.path_store is not None:
-        from repro.core.store import PathStore
+        from repro.core.store import ArenaStore, PathStore
 
+        store_cls = ArenaStore if args.store_format == "arena" else PathStore
         store = (
-            PathStore.default()
+            store_cls.default()
             if args.path_store == "default"
-            else PathStore(args.path_store)
+            else store_cls(args.path_store)
         )
 
     names = list(EXPERIMENTS) if "all" in args.experiment else args.experiment
@@ -344,6 +371,7 @@ def main(argv=None) -> int:
                         processes=args.processes, path_store=store,
                         steady_state=args.steady_state,
                         batch_lanes=args.batch_lanes,
+                        pairs_on_demand=args.pairs_on_demand,
                     )
             finally:
                 if profiler is not None:
@@ -404,6 +432,8 @@ def _emit_telemetry(
         config={
             "processes": args.processes,
             "path_store": args.path_store,
+            "store_format": args.store_format,
+            "pairs_on_demand": args.pairs_on_demand,
             "export_dir": args.export_dir,
             "trace_sample": args.trace_sample,
             "timeseries_window": args.timeseries_window,

@@ -134,11 +134,7 @@ def lane_vc_count(
         estimate=config.adaptive_estimate,
         channel_latency=config.channel_latency,
     )
-    longest = 1
-    for ps in paths._store.values():
-        for p in ps:
-            longest = max(longest, p.hops)
-    return max(longest, mech.max_route_hops()) + 1
+    return max(paths.max_hops(), mech.max_route_hops()) + 1
 
 
 @dataclass(frozen=True)
@@ -242,11 +238,9 @@ class BatchSimulator:
                     channel_latency=config.channel_latency,
                 )
             self._pre_snaps.append(mreg.snapshot())
-            longest = 1
-            for ps in paths._store.values():
-                for p in ps:
-                    longest = max(longest, p.hops)
-            n_vcs_per_lane.append(max(longest, mech.max_route_hops()) + 1)
+            n_vcs_per_lane.append(
+                max(paths.max_hops(), mech.max_route_hops()) + 1
+            )
             self.rngs.append(rng)
             self._rates.append(float(lane.injection_rate))
             self._traffics.append(lane.traffic)
@@ -326,7 +320,10 @@ class BatchSimulator:
         for lane in self.lanes:
             for s, d in lane.traffic.switch_pairs(topology):
                 if s * n_sw + d not in self._t.pair:
-                    self._t.pair_record(s, d, paths._store[(s, d)])
+                    ps = paths.peek(s, d)
+                    if ps is None:  # precompute above warmed every pair
+                        raise KeyError((s, d))
+                    self._t.pair_record(s, d, ps)
         self._rf_len = -1
         self._n_routes = -1
         self._refresh_tables()
@@ -1217,7 +1214,7 @@ class BatchSimulator:
         fully warmed up front).
         """
         paths = self.paths
-        ps = paths._store.get((sw_s, sw_d))
+        ps = paths.peek(sw_s, sw_d)
         if ps is not None:
             paths.hits += 1
             if self._draining:

@@ -151,35 +151,37 @@ def _draw_batch_slow(
     return vals
 
 
-class _FlatTables:
-    """CSR route tables shared by every run on one (cache, n_vcs) pair.
+class _RouteTables:
+    """Per-cache CSR route core, independent of the VC count.
 
     A route is a switch path flattened to per-hop parallel arrays; the
     per-pair records additionally cache what the native mechanism
     implementations need (hop counts, link-id tuples for occupancy
-    estimates, the canonical tie-break rank).  Tables are keyed by
-    ``n_vcs`` because the downstream flat buffer index bakes in the VC
-    stride, which differs across mechanisms.
+    estimates, the canonical tie-break rank).  The port mapping of a hop
+    does not depend on how many VCs the run uses, so one core per
+    :class:`~repro.core.cache.PathCache` serves every engine and every
+    mechanism: the only VC-dependent column (the downstream flat buffer
+    index) lives in thin per-``n_vcs`` :class:`_FlatTables` views derived
+    from ``rf_slot``/``rf_vc``.
     """
 
     __slots__ = (
-        "wiring", "n_vcs", "stride_switch", "n_switches",
+        "wiring", "n_switches", "n_ports",
         "route_ids", "r_nodes", "r_off", "r_hops",
-        "rf_out", "rf_nxt", "rf_link", "pair",
+        "rf_out", "rf_slot", "rf_vc", "rf_link", "pair",
     )
 
-    def __init__(self, wiring: NetworkWiring, n_vcs: int, stride_switch: int,
-                 n_switches: int):
+    def __init__(self, wiring: NetworkWiring, n_switches: int):
         self.wiring = wiring
-        self.n_vcs = n_vcs
-        self.stride_switch = stride_switch
         self.n_switches = n_switches
+        self.n_ports = wiring.n_ports
         self.route_ids: Dict[Nodes, int] = {}
         self.r_nodes: List[Nodes] = []
         self.r_off: List[int] = []    # offset into the rf_* arrays
         self.r_hops: List[int] = []   # switch-to-switch hop count
         self.rf_out: List[int] = []   # output port at hop i
-        self.rf_nxt: List[int] = []   # downstream flat buffer index
+        self.rf_slot: List[int] = []  # downstream (switch, input port) slot
+        self.rf_vc: List[int] = []    # downstream VC (the VC ladder: i+1)
         self.rf_link: List[int] = []  # directed link id
         # src_sw * n_switches + dst_sw -> (k, rids, hops, links, rank);
         # the flat int key hashes cheaper than a tuple on the hot path.
@@ -191,8 +193,8 @@ class _FlatTables:
             return rid
         w = self.wiring
         port_of, peer, link_of = w.port_of, w.peer_port, w.link_of
-        stride, n_vcs = self.stride_switch, self.n_vcs
-        out, nxt, lnk = self.rf_out, self.rf_nxt, self.rf_link
+        n_ports = self.n_ports
+        out, slot, vc, lnk = self.rf_out, self.rf_slot, self.rf_vc, self.rf_link
         rid = len(self.r_off)
         self.r_off.append(len(out))
         self.r_hops.append(len(nodes) - 1)
@@ -202,8 +204,10 @@ class _FlatTables:
             p = port_of[u][v]
             out.append(p)
             # A flit forwarded at hop i lands in the downstream switch's
-            # (peer input port, VC i+1) buffer — the VC ladder.
-            nxt.append(v * stride + peer[u][p] * n_vcs + i + 1)
+            # (peer input port, VC i+1) buffer — the VC ladder.  The flat
+            # buffer index is slot * n_vcs + vc; views bake in n_vcs.
+            slot.append(v * n_ports + peer[u][p])
+            vc.append(i + 1)
             lnk.append(link_of[u][p])
         self.route_ids[nodes] = rid
         return rid
@@ -234,17 +238,79 @@ class _FlatTables:
         return rec
 
 
+class _FlatTables:
+    """A per-``n_vcs`` view over a cache's shared :class:`_RouteTables`.
+
+    Every column except ``rf_nxt`` (the downstream flat buffer index,
+    which bakes in the VC stride) is a shared reference into the core —
+    routes and pair records added through any view, any engine, any run
+    are built exactly once per cache.  ``rf_nxt`` is derived as
+    ``rf_slot * n_vcs + rf_vc`` and extended lazily when the core grows;
+    hot loops hold the list object, which is append-only.
+    """
+
+    __slots__ = (
+        "core", "wiring", "n_vcs", "stride_switch", "n_switches",
+        "route_ids", "r_nodes", "r_off", "r_hops",
+        "rf_out", "rf_nxt", "rf_link", "pair",
+    )
+
+    def __init__(self, core: _RouteTables, n_vcs: int, stride_switch: int):
+        self.core = core
+        self.wiring = core.wiring
+        self.n_vcs = n_vcs
+        self.stride_switch = stride_switch
+        self.n_switches = core.n_switches
+        self.route_ids = core.route_ids
+        self.r_nodes = core.r_nodes
+        self.r_off = core.r_off
+        self.r_hops = core.r_hops
+        self.rf_out = core.rf_out
+        self.rf_link = core.rf_link
+        self.pair = core.pair
+        self.rf_nxt: List[int] = []   # downstream flat buffer index
+        self._sync()
+
+    def _sync(self) -> None:
+        slot, vc = self.core.rf_slot, self.core.rf_vc
+        nxt, n_vcs = self.rf_nxt, self.n_vcs
+        for j in range(len(nxt), len(slot)):
+            nxt.append(slot[j] * n_vcs + vc[j])
+
+    def add_route(self, nodes: Nodes) -> int:
+        rid = self.core.add_route(nodes)
+        if len(self.rf_nxt) != len(self.core.rf_slot):
+            self._sync()
+        return rid
+
+    def pair_record(self, src_sw: int, dst_sw: int, ps) -> tuple:
+        rec = self.core.pair_record(src_sw, dst_sw, ps)
+        if len(self.rf_nxt) != len(self.core.rf_slot):
+            self._sync()
+        return rec
+
+
+def _route_core_for(paths: PathCache, wiring: NetworkWiring,
+                    n_switches: int) -> _RouteTables:
+    """The one shared CSR route core of ``paths``."""
+    core = paths.__dict__.get("_route_core")
+    if core is None:
+        core = paths.__dict__["_route_core"] = _RouteTables(
+            wiring, n_switches
+        )
+    return core
+
+
 def _tables_for(paths: PathCache, wiring: NetworkWiring, n_vcs: int,
                 stride_switch: int, n_switches: int) -> _FlatTables:
-    """The shared route tables of ``paths`` for one VC-stride layout."""
+    """The route-table view of ``paths`` for one VC-stride layout."""
     tabs = paths.__dict__.get("_fastcore_tables")
     if tabs is None:
         tabs = paths.__dict__["_fastcore_tables"] = {}
     found = tabs.get(n_vcs)
     if found is None:
-        found = tabs[n_vcs] = _FlatTables(
-            wiring, n_vcs, stride_switch, n_switches
-        )
+        core = _route_core_for(paths, wiring, n_switches)
+        found = tabs[n_vcs] = _FlatTables(core, n_vcs, stride_switch)
     return found
 
 

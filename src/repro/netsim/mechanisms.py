@@ -288,12 +288,7 @@ class KspAdaptiveMechanism(RoutingMechanism):
 
 def _cached_max_hops(paths: PathCache) -> int:
     """Longest path currently cached (simulator precomputes the table)."""
-    longest = 1
-    for ps in paths._store.values():
-        for p in ps:
-            if p.hops > longest:
-                longest = p.hops
-    return longest
+    return paths.max_hops()
 
 
 MECHANISMS: Dict[str, Callable[..., RoutingMechanism]] = {

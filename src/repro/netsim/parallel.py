@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.arena import PathArena
 from repro.core.cache import PathCache
 from repro.errors import ConfigurationError
 from repro.netsim.batchcore import (
@@ -82,14 +83,25 @@ _GRID_HB: List[Optional[obs_monitor.Heartbeater]] = [None]
 def _grid_init(topo_doc, k, cache_seed, states, obs_enabled=False,
                trace_cfg=None, ts_cfg=None, ls_cfg=None, fs_cfg=None,
                mon_sink=None) -> None:
-    """Pool initializer: rebuild the topology and warmed caches once."""
+    """Pool initializer: rebuild the topology and warmed caches once.
+
+    ``states`` maps scheme -> one of a :class:`PathArena` (inline runs),
+    a shared-memory descriptor dict from ``PathArena.to_shm`` (pool
+    workers attach the parent's block zero-copy), or a legacy
+    ``{(s, d): PathSet}`` snapshot.
+    """
     import os
 
     topology = topology_from_dict(topo_doc)
     caches: Dict[str, PathCache] = {}
     for scheme, state in states.items():
         cache = PathCache(topology, scheme, k=k, seed=cache_seed)
-        cache.import_state(state)
+        if isinstance(state, PathArena):
+            cache.attach_arena(state)
+        elif isinstance(state, dict) and "shm" in state:
+            cache.attach_arena(PathArena.from_shm(state))
+        else:
+            cache.import_state(state)
         caches[scheme] = cache
     _GRID_STATE[0] = (topology, caches)
     _GRID_OBS[0] = bool(obs_enabled)
@@ -101,6 +113,30 @@ def _grid_init(topo_doc, k, cache_seed, states, obs_enabled=False,
         obs_monitor.Heartbeater(mon_sink, worker=os.getpid())
         if mon_sink is not None else None
     )
+
+
+def _ship_states(caches: Dict[str, PathCache], processes: int):
+    """Package warmed caches for worker shipment.
+
+    Inline runs (``processes == 1``) hand the per-scheme
+    :class:`PathArena` straight to ``_grid_init``.  Pool runs move each
+    arena into a shared-memory block and ship only its ~200-byte
+    descriptor through the initializer, so workers map the parent's
+    tables zero-copy instead of unpickling per-pair ``PathSet`` objects.
+    Returns ``(states, shms)``; the caller must close and unlink every
+    block in ``shms`` after the pool has joined.
+    """
+    states: Dict[str, object] = {}
+    shms: list = []
+    for scheme, cache in caches.items():
+        arena = PathArena.from_cache(cache)
+        if processes == 1:
+            states[scheme] = arena
+        else:
+            shm, descriptor = arena.to_shm()
+            shms.append(shm)
+            states[scheme] = descriptor
+    return states, shms
 
 
 def _run_cell(
@@ -382,8 +418,10 @@ def run_saturation_grid(
         )
 
     topo_doc = topology_to_dict(topology)
-    # Warm one cache per scheme in the parent; workers import the state.
-    states = {}
+    # Warm one cache per scheme in the parent — only the pairs the
+    # patterns actually touch (on-demand) — then ship the flat arena to
+    # the workers.
+    caches: Dict[str, PathCache] = {}
     pair_lists = [
         sorted(
             {
@@ -397,7 +435,8 @@ def run_saturation_grid(
         cache = PathCache(topology, scheme, k=k, seed=seed)
         for pairs in pair_lists:
             cache.precompute(pairs)
-        states[scheme] = cache.export_state()
+        caches[scheme] = cache
+    states, shms = _ship_states(caches, processes)
 
     tasks = []
     cell = 0
@@ -490,6 +529,11 @@ def run_saturation_grid(
                     ):
                         _collect(cell_result)
     finally:
+        # The pool context manager has joined its workers by the time we
+        # get here, so the parent can safely tear down the shared blocks.
+        for shm in shms:
+            shm.close()
+            shm.unlink()
         if mon is not None:
             mon.finish()
 

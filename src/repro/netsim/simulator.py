@@ -245,11 +245,12 @@ class Simulator:
             channel_latency=config.channel_latency,
         )
 
-        longest = 1
-        for ps in paths._store.values():
-            for p in ps:
-                longest = max(longest, p.hops)
-        self.n_vcs = max(longest, self.mechanism.max_route_hops()) + 1
+        # Longest resident path anywhere in the cache state (dict and
+        # arena) — arena-resident pairs size the VC ladder exactly as
+        # dict-resident ones do.
+        self.n_vcs = max(
+            paths.max_hops(), self.mechanism.max_route_hops()
+        ) + 1
 
         n_sw = topology.n_switches
         self.n_ports = self.wiring.n_ports

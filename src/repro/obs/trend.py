@@ -23,7 +23,10 @@ noise floors of :mod:`repro.obs.compare`:
   ``gauge/netsim.worst_pair_p99``) gate upward like timings — a tail
   that blows past the window median ships no more silently than a slow
   stage — and ``gauge/netsim.fairness_jain`` gates downward (a fairness
-  collapse is a regression).  Other gauges are reported, never gated;
+  collapse is a regression).  ``gauge/core.arena_bytes`` (resident
+  path-table footprint) gates upward: a path-store memory blow-up is a
+  perf regression even when wall time holds.  Other gauges —
+  ``core.pairs_resident`` among them — are reported, never gated;
 - ``counter/...`` metrics gate in either direction only when
   ``metric_threshold`` is given, exactly like ``compare-runs`` —
   counters are deterministic for a fixed seed, so the drift gate
@@ -84,6 +87,11 @@ LATENCY_GAUGES = (
 #: Fairness gauges (Jain index in (0, 1]; smaller is worse, gated).
 FAIRNESS_GAUGES = ("gauge/netsim.fairness_jain",)
 
+#: Path-table footprint gauges (bytes resident; larger is worse, gated).
+#: ``core.pairs_resident`` stays report-only — pair counts track the
+#: workload, not the store's efficiency.
+FOOTPRINT_GAUGES = ("gauge/core.arena_bytes",)
+
 
 @dataclass(frozen=True)
 class MetricTrend:
@@ -138,6 +146,8 @@ def _direction(metric: str) -> Optional[int]:
         return 1
     if metric in FAIRNESS_GAUGES:
         return -1
+    if metric in FOOTPRINT_GAUGES:
+        return 1
     return None
 
 
